@@ -1,0 +1,109 @@
+// Extension bench (§7 future work): "Future work is needed to examine the
+// benefit of this research on a wide range of parallel applications." We run
+// four application classes — collective-dense implicit solver, explicit
+// hydro (ALE3D proxy), pipelined wavefront (Sweep3D class), and coarse BSP —
+// under the vanilla kernel and under the prototype+co-scheduler, and report
+// the wall-time speedup per class. Expectation from the paper's analysis:
+// benefit tracks how much of each code's time lives in fine-grain
+// synchronization.
+//
+//   ./ext_app_sweep [--nodes=16] [--seed=N]
+#include <iostream>
+
+#include "apps/ale3d_proxy.hpp"
+#include "apps/bsp.hpp"
+#include "apps/implicit_cg.hpp"
+#include "apps/sweep3d_proxy.hpp"
+#include "common.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace pasched;
+
+namespace {
+
+double run_app(const mpi::WorkloadFactory& factory, int nodes,
+               std::uint64_t seed, bool proto, bool io_aware,
+               sim::Duration period) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(nodes);
+  cfg.cluster.seed = seed;
+  cfg.job.ntasks = nodes * 16;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.seed = seed + 3;
+  cfg.horizon = sim::Duration::sec(1800);
+  if (proto) {
+    cfg.cluster.node.tunables = core::prototype_kernel();
+    cfg.use_coscheduler = true;
+    cfg.cosched = io_aware ? core::io_aware_cosched(40) : core::paper_cosched();
+    cfg.cosched.period = period;
+    cfg.job.mpi.polling_interval = sim::Duration::sec(400);
+  }
+  core::Simulation sim(cfg, factory);
+  const auto r = sim.run();
+  if (!r.completed) std::cerr << "warning: run hit the horizon\n";
+  return r.elapsed.to_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int nodes = static_cast<int>(flags.get_int("nodes", 20));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 44));
+
+  bench::banner("Extension — benefit across application classes",
+                "SC'03 Jones et al., §7 ('a wide range of parallel "
+                "applications', implemented)");
+
+  struct AppCase {
+    const char* name;
+    mpi::WorkloadFactory factory;
+    bool io_aware;
+    // Co-scheduler window; must be tick-aligned with the 250 ms big tick.
+    // I/O-phase-heavy codes want the paper's longer windows (fewer
+    // unfavored-phase crossings of their barriers).
+    sim::Duration period;
+  };
+  apps::ImplicitCgConfig cg;
+  cg.timesteps = 25;
+  apps::Ale3dConfig ale;
+  ale.timesteps = 60;
+  ale.checkpoint_every = 15;
+  apps::Sweep3dConfig sw;
+  sw.timesteps = 80;
+  apps::BspConfig bsp;
+  bsp.steps = 160;
+  bsp.compute_mean = sim::Duration::ms(20);  // coarse-grain: 20 ms per step
+
+  const AppCase cases[] = {
+      {"implicit solver (CG, 80 dots/step)", apps::implicit_cg(cg), false,
+       sim::Duration::ms(2500)},
+      {"explicit hydro + I/O (ALE3D proxy)", apps::ale3d_proxy(ale), true,
+       sim::Duration::sec(5)},
+      {"pipelined wavefront (Sweep3D class)", apps::sweep3d_proxy(sw), false,
+       sim::Duration::ms(2500)},
+      {"coarse-grain BSP (20 ms steps)", apps::bsp(bsp), false,
+       sim::Duration::ms(2500)},
+  };
+
+  util::Table t({"application class", "vanilla (s)", "prototype+cosched (s)",
+                 "speedup"});
+  for (const auto& c : cases) {
+    const double v = run_app(c.factory, nodes, seed, false, c.io_aware, c.period);
+    const double p = run_app(c.factory, nodes, seed, true, c.io_aware, c.period);
+    t.add_row({c.name, util::Table::cell(v, 2), util::Table::cell(p, 2),
+               util::Table::cell(v / p, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape target: among compute-bound classes the benefit is "
+               "ordered by fine-grain-synchronization density (implicit "
+               "solver > wavefront > coarse BSP, the §2 argument); the "
+               "I/O-phase-heavy code gains least because its bottleneck "
+               "*depends on* daemons — the §5.3 ALE3D lesson, which is why "
+               "it runs with the I/O-aware priorities and the escape API.\n";
+  return 0;
+}

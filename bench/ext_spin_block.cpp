@@ -1,0 +1,77 @@
+// Baseline comparison (related work, §6 category 3): NOW-style demand-based
+// co-scheduling — tasks spin briefly then block, and message arrival wakes
+// the receiver — versus the paper's dedicated-use model (pure spinning) and
+// versus dedicated-job co-scheduling. The paper's argument: on a dedicated
+// machine, fair-share/demand techniques pay a wakeup on every message of a
+// fine-grain collective, while priority-window co-scheduling removes the
+// interference without touching the critical path.
+//
+//   ./ext_spin_block [--nodes=30] [--calls=N] [--seeds=N]
+#include <iostream>
+
+#include "common.hpp"
+#include "core/presets.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace pasched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int nodes = static_cast<int>(flags.get_int("nodes", 30));
+  const int calls = static_cast<int>(flags.get_int("calls", 800));
+  const int seeds = static_cast<int>(flags.get_int("seeds", 2));
+
+  bench::banner("Baseline — demand-based (spin-block) co-scheduling vs "
+                "dedicated-job co-scheduling",
+                "SC'03 Jones et al., §6 (Fair Share Co-Schedulers vs "
+                "Dedicated Job Co-Schedulers)");
+
+  struct Variant {
+    const char* name;
+    mpi::RecvWait wait;
+    sim::Duration threshold;
+    bool cosched;
+  };
+  const Variant variants[] = {
+      {"spin (dedicated use), vanilla", mpi::RecvWait::Spin, {}, false},
+      {"spin-block 50 us (NOW-style), vanilla", mpi::RecvWait::SpinBlock,
+       sim::Duration::us(50), false},
+      {"block immediately, vanilla", mpi::RecvWait::SpinBlock,
+       sim::Duration::zero(), false},
+      {"spin + prototype + cosched (the paper)", mpi::RecvWait::Spin, {},
+       true},
+  };
+
+  util::Table t({"variant", "mean us", "p99 us", "max us", "cv"});
+  for (const auto& v : variants) {
+    bench::RunSpec spec;
+    spec.nodes = nodes;
+    spec.calls = calls;
+    spec.seed = 606;
+    spec.mpi.recv_wait = v.wait;
+    spec.mpi.spin_threshold = v.threshold;
+    if (v.cosched) {
+      spec.tunables = core::prototype_kernel();
+      spec.use_cosched = true;
+      spec.cosched = core::paper_cosched();
+      spec.mpi.polling_interval = sim::Duration::sec(400);
+    }
+    const auto runs = bench::run_seeds(spec, seeds);
+    t.add_row({v.name,
+               util::Table::cell(
+                   bench::mean_field(runs, &bench::RunResult::mean_us), 1),
+               util::Table::cell(
+                   bench::mean_field(runs, &bench::RunResult::p99_us), 1),
+               util::Table::cell(
+                   bench::mean_field(runs, &bench::RunResult::max_us), 1),
+               util::Table::cell(bench::mean_field(runs, &bench::RunResult::cv),
+                                 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape target: blocking frees CPUs for daemons (smaller "
+               "outliers than pure spinning on the vanilla kernel) but puts "
+               "a wakeup on every tree edge (higher base cost); dedicated-"
+               "job co-scheduling beats both — the paper's §6 positioning.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 3: Allreduce microseconds vs. processor count, 16 tasks/node on the
+// standard (vanilla) AIX-style kernel. Paper finding: performance is linear
+// in processor count (expected: logarithmic) with extreme variability.
+//
+//   ./fig3_vanilla16 [--full] [--calls=N] [--seeds=N]
+#include <iostream>
+
+#include "common.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace pasched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int calls = static_cast<int>(flags.get_int("calls", 1000));
+  const int seeds = static_cast<int>(flags.get_int("seeds", 2));
+  const bool full = flags.get_bool("full", false);
+
+  bench::banner("Figure 3 — Allreduce us vs. processors, vanilla kernel, "
+                "16 tasks/node",
+                "SC'03 Jones et al., Figure 3");
+
+  util::Table t({"procs", "mean us", "median us", "min us", "max us", "cv",
+                 "ideal us"});
+  std::vector<double> xs, ys;
+  for (const int procs : bench::default_proc_sweep(full)) {
+    bench::RunSpec spec;
+    spec.nodes = (procs + 15) / 16;
+    spec.tasks_per_node = 16;
+    spec.calls = calls;
+    spec.seed = 1000 + static_cast<std::uint64_t>(procs);
+    const auto runs = bench::run_seeds(spec, seeds);
+    const double mean = bench::mean_field(runs, &bench::RunResult::mean_us);
+    t.add_row({util::Table::cell(static_cast<long long>(procs)),
+               util::Table::cell(mean, 1),
+               util::Table::cell(
+                   bench::mean_field(runs, &bench::RunResult::median_us), 1),
+               util::Table::cell(
+                   bench::mean_field(runs, &bench::RunResult::min_us), 1),
+               util::Table::cell(
+                   bench::mean_field(runs, &bench::RunResult::max_us), 1),
+               util::Table::cell(bench::mean_field(runs, &bench::RunResult::cv),
+                                 2),
+               util::Table::cell(runs.front().ideal_us, 1)});
+    xs.push_back(procs);
+    ys.push_back(mean);
+  }
+  t.print(std::cout);
+  const auto fit = util::fit_line(xs, ys);
+  std::cout << "\nlinear fit: y = " << util::format_double(fit.slope, 3)
+            << " * procs + " << util::format_double(fit.intercept, 1)
+            << "   (R^2 = " << util::format_double(fit.r_squared, 3) << ")\n"
+            << "paper's vanilla fit: y = 0.70x + 166 (shape target: clearly "
+               "super-logarithmic growth, large variability)\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 4: sorted per-Allreduce times sampled from one node of a
+// 944-processor run on the standard kernel, plus the trace-based outlier
+// attribution of §5.3. Paper findings on this sample:
+//   * the benchmark model predicts ~350 us; the fastest calls come within
+//     ~10% of it;
+//   * the median is another ~25% higher;
+//   * the mean (2240 us) is ~6x the model — dominated by a handful of
+//     outliers;
+//   * the slowest call (an administrative cron job ran during it, ~600 ms of
+//     priority-56 utility work) accounts for more than half the total time.
+//
+//   ./fig4_sorted_times [--calls=N] [--samples=448] [--seed=N]
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "apps/aggregate_trace.hpp"
+#include "apps/channels.hpp"
+#include "core/simulation.hpp"
+#include "mpi/collectives.hpp"
+#include "trace/trace.hpp"
+#include "util/flags.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace pasched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const int calls = static_cast<int>(flags.get_int("calls", 2000));
+  const int samples = static_cast<int>(flags.get_int("samples", 448));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 4));
+
+  bench::banner("Figure 4 — sorted Allreduce times from one node @944 procs, "
+                "vanilla kernel (+ outlier attribution)",
+                "SC'03 Jones et al., Figure 4 and §5.3 trace analysis");
+
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(59);
+  cfg.cluster.seed = seed;
+  // Arm the 15-minute administrative health check to fire mid-run, as it did
+  // during the paper's traced run.
+  cfg.cluster.node.daemons.cron_first_due = sim::Duration::sec(7);
+  cfg.job.ntasks = 59 * 16;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.seed = seed * 31 + 5;
+
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = calls;
+  at.warmup = sim::Duration::sec(6);
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+
+  // AIX-style trace on every node: with a synchronizing collective the
+  // laggard can be anywhere, and the paper's analysis needed traces from
+  // multiple nodes to find the cron job.
+  const int traced_nodes = sim.cluster().size();
+  trace::Tracer tracer(/*node_filter=*/-1);
+  for (int n = 0; n < traced_nodes; ++n)
+    tracer.attach(sim.cluster().node(n).kernel());
+  tracer.enable(sim.engine().now());
+
+  const auto res = sim.run();
+  if (!res.completed) std::cout << "warning: run hit the horizon\n";
+  tracer.disable(sim.engine().now());
+
+  const auto& ch = sim.job().channel(apps::kChanAllreduce);
+  std::vector<double> all = ch.recorded_us;
+  // Subsample evenly to the figure's 448 points, then sort.
+  std::vector<double> sample;
+  const std::size_t n = all.size();
+  for (int i = 0; i < samples && n > 0; ++i)
+    sample.push_back(all[static_cast<std::size_t>(i) * n /
+                         static_cast<std::size_t>(samples)]);
+  std::sort(sample.begin(), sample.end());
+
+  const util::Summary s(sample);
+  const double model =
+      mpi::ideal_allreduce(944, cfg.job.mpi, cfg.cluster.fabric.inter_node_latency,
+                           cfg.cluster.fabric.per_byte, 8)
+          .to_us();
+
+  util::Table t({"quantity", "value (us)", "vs model", "paper"});
+  t.add_row({"model (no interference)", util::Table::cell(model, 1), "1.00x",
+             "~350 us"});
+  t.add_row({"fastest", util::Table::cell(s.min(), 1),
+             util::Table::cell(s.min() / model, 2), "~+10%"});
+  t.add_row({"median", util::Table::cell(s.median(), 1),
+             util::Table::cell(s.median() / model, 2), "fast +25%"});
+  t.add_row({"mean", util::Table::cell(s.mean(), 1),
+             util::Table::cell(s.mean() / model, 2), "2240 us (~6x)"});
+  t.add_row({"p90", util::Table::cell(s.percentile(90), 1),
+             util::Table::cell(s.percentile(90) / model, 2), "outlier region"});
+  t.add_row({"slowest", util::Table::cell(s.max(), 1),
+             util::Table::cell(s.max() / model, 2), ">1/2 of total"});
+  t.print(std::cout);
+  std::cout << "slowest / total sample time: "
+            << util::format_double(100.0 * s.max() / s.total(), 1)
+            << "%  (paper: >50% with the cron hit)\n";
+
+  // Sorted-sample curve: print every 32nd point (the figure's shape).
+  std::cout << "\nsorted sample (every 32nd of " << sample.size()
+            << " points), us:\n  ";
+  for (std::size_t i = 0; i < sample.size(); i += 32)
+    std::cout << util::format_double(sample[i], 0) << " ";
+  std::cout << "... " << util::format_double(sample.back(), 0) << "\n";
+
+  // Outlier attribution: what ran on node 0 during the slowest recorded call?
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < ch.recorded_us.size(); ++i)
+    if (ch.recorded_us[i] > ch.recorded_us[worst]) worst = i;
+  const sim::Time w0 = ch.recorded_begin[worst];
+  const sim::Time w1 =
+      w0 + sim::Duration::ns(static_cast<std::int64_t>(
+               ch.recorded_us[worst] * 1000.0));
+  std::cout << "\ntrace attribution for the slowest call ("
+            << util::format_double(ch.recorded_us[worst], 0)
+            << " us) across the " << traced_nodes
+            << " traced nodes — non-application CPU time:\n";
+  const auto blame =
+      trace::attribute(tracer.intervals(), -1, w0, w1, /*exclude_app=*/true);
+  int shown = 0;
+  for (const auto& a : blame) {
+    if (shown++ >= 8) break;
+    std::cout << "  " << a.name << " (" << kern::to_string(a.cls)
+              << "): " << a.cpu_time.str() << "\n";
+  }
+  if (blame.empty())
+    std::cout << "  (no non-app activity on this node during the window; the "
+                 "outlier originated on another node)\n";
+  return 0;
+}

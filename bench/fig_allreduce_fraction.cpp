@@ -1,0 +1,77 @@
+// §2's motivation numbers: on ASCI White / ASCI Q, Allreduce consumed more
+// than 50% of total application time at 1728 processors ([Dawson03],
+// [Hoisie03] reports ~50% at 1728 and >70% at 4096). We run the BSP workload
+// with fixed per-task compute and report the fraction of wall time spent in
+// synchronizing collectives as the task count grows, on the vanilla kernel.
+//
+//   ./fig_allreduce_fraction [--full] [--steps=N]
+#include <iostream>
+
+#include "apps/bsp.hpp"
+#include "apps/channels.hpp"
+#include "common.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace pasched;
+
+namespace {
+
+double allreduce_fraction(int procs, int steps, std::uint64_t seed,
+                          bool prototype) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost((procs + 15) / 16);
+  cfg.cluster.seed = seed;
+  cfg.cluster.node.tunables =
+      prototype ? core::prototype_kernel() : core::vanilla_kernel();
+  cfg.job.ntasks = procs;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.seed = seed + 1;
+  cfg.use_coscheduler = prototype;
+  cfg.cosched = core::paper_cosched();
+  cfg.cosched.period = sim::Duration::sec(2);
+
+  apps::BspConfig app;
+  app.steps = steps;
+  app.compute_mean = sim::Duration::ms(2);
+  app.allreduces_per_step = 2;
+  core::Simulation sim(cfg, apps::bsp(app));
+  const auto res = sim.run();
+  const auto& ar = sim.job().channel(apps::kChanAllreduce);
+  // Mean Allreduce seconds per task over the job's wall time.
+  const double ar_s_per_task =
+      ar.all_us.sum() / 1e6 / static_cast<double>(procs);
+  return ar_s_per_task / res.elapsed.to_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full", false);
+  const int steps = static_cast<int>(flags.get_int("steps", 400));
+
+  bench::banner("Fraction of runtime consumed by synchronizing collectives "
+                "vs. processor count (BSP app)",
+                "SC'03 Jones et al., §2 ([Dawson03]/[Hoisie03]: >50% at 1728)");
+
+  std::vector<int> sweep{64, 256, 512, 944};
+  if (full) sweep = {64, 128, 256, 512, 944, 1264, 1728};
+
+  util::Table t({"procs", "vanilla allreduce %", "prototype allreduce %"});
+  for (const int procs : sweep) {
+    const double v = allreduce_fraction(procs, steps, 31, false);
+    const double p = allreduce_fraction(procs, steps, 31, true);
+    t.add_row({util::Table::cell(static_cast<long long>(procs)),
+               util::Table::cell(100.0 * v, 1),
+               util::Table::cell(100.0 * p, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nshape target: the vanilla fraction grows steeply with task "
+               "count (toward the ~50% @1728 the paper cites); parallel-aware "
+               "scheduling flattens it.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks of the simulator substrate itself (google-benchmark):
+// event-queue throughput, cancellation, and kernel tick machinery. These
+// guard the simulator's performance, which bounds how large a cluster the
+// reproduction benches can sweep.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+using namespace pasched;
+using namespace pasched::sim::literals;
+
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t sink = 0;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(sim::Time::zero() + sim::Duration::ns(i), [&sink] { ++sink; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleFire)->Arg(1000)->Arg(100000);
+
+void BM_EngineSelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t count = 0;
+    const std::uint64_t limit = static_cast<std::uint64_t>(state.range(0));
+    std::function<void()> tick = [&] {
+      if (++count < limit) e.schedule_after(1_us, [&] { tick(); });
+    };
+    e.schedule_after(1_us, [&] { tick(); });
+    e.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineSelfRescheduling)->Arg(100000);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    std::vector<sim::EventId> ids;
+    const int n = static_cast<int>(state.range(0));
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      ids.push_back(
+          e.schedule_at(sim::Time::zero() + sim::Duration::ns(i), [] {}));
+    for (int i = 0; i < n; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineCancelHeavy)->Arg(100000);
+
+void BM_IdleNodeTicks(benchmark::State& state) {
+  // Cost of simulating one second of an idle 16-way node (ticks + daemons).
+  for (auto _ : state) {
+    sim::Engine e;
+    cluster::ClusterConfig cfg = cluster::presets::frost(1);
+    cluster::Cluster c(e, cfg);
+    c.start();
+    e.run_until(sim::Time::zero() + 1_s);
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+}
+BENCHMARK(BM_IdleNodeTicks);
+
+void BM_RngThroughput(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

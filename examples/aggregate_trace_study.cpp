@@ -1,0 +1,84 @@
+// A configurable scaling study with the paper's synthetic benchmark: sweep
+// processor counts under any combination of kernel preset, co-scheduler
+// parameters and MPI settings, and print per-point statistics plus a linear
+// fit — the workflow behind Figures 3/5/6, exposed as a tool.
+//
+//   ./aggregate_trace_study --kernel=prototype --cosched=true \
+//       --procs=32,64,128,256 --calls=800 --duty=0.9 --period=5 \
+//       --polling-ms=400 --tasks-per-node=16 --seed=1
+#include <iostream>
+#include <vector>
+
+#include "apps/aggregate_trace.hpp"
+#include "apps/channels.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace pasched;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::string kernel = flags.get("kernel", "vanilla");
+  const bool cosched = flags.get_bool("cosched", kernel == "prototype");
+  const int tpn = static_cast<int>(flags.get_int("tasks-per-node", 16));
+  const int calls = static_cast<int>(flags.get_int("calls", 600));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double duty = flags.get_double("duty", 0.90);
+  const double period_s = flags.get_double("period", 5.0);
+  const double polling_ms = flags.get_double("polling-ms", 400.0);
+
+  std::vector<int> procs;
+  for (const auto& tok : util::split(flags.get("procs", "32,64,128,256"), ','))
+    if (const auto v = util::parse_int(tok)) procs.push_back(static_cast<int>(*v));
+
+  std::cout << "aggregate_trace scaling study — kernel=" << kernel
+            << " cosched=" << (cosched ? "on" : "off") << " " << tpn
+            << " tasks/node, " << calls << " calls/point\n\n";
+
+  util::Table t({"procs", "mean us", "median us", "p99 us", "max us", "cv"});
+  std::vector<double> xs, ys;
+  for (const int p : procs) {
+    core::SimulationConfig cfg;
+    cfg.cluster = cluster::presets::frost((p + tpn - 1) / tpn);
+    cfg.cluster.seed = seed + static_cast<std::uint64_t>(p);
+    cfg.cluster.node.tunables = (kernel == "prototype")
+                                    ? core::prototype_kernel()
+                                    : core::vanilla_kernel();
+    cfg.job.ntasks = p;
+    cfg.job.tasks_per_node = tpn;
+    cfg.job.seed = seed * 13 + static_cast<std::uint64_t>(p);
+    cfg.job.mpi.polling_interval =
+        sim::Duration::from_seconds(polling_ms / 1000.0);
+    cfg.use_coscheduler = cosched;
+    cfg.cosched = core::paper_cosched();
+    cfg.cosched.duty = duty;
+    cfg.cosched.period = sim::Duration::from_seconds(period_s);
+
+    apps::AggregateTraceConfig at;
+    at.loops = 1;
+    at.calls_per_loop = calls;
+    at.warmup = sim::Duration::from_seconds(period_s + 1.0);
+    core::Simulation sim(cfg, apps::aggregate_trace(at));
+    const auto res = sim.run();
+    if (!res.completed) std::cerr << "warning: point " << p << " hit horizon\n";
+    const util::Summary s(sim.job().channel(apps::kChanAllreduce).recorded_us);
+    t.add_row({util::Table::cell(static_cast<long long>(p)),
+               util::Table::cell(s.mean(), 1), util::Table::cell(s.median(), 1),
+               util::Table::cell(s.percentile(99), 1),
+               util::Table::cell(s.max(), 1), util::Table::cell(s.cv(), 2)});
+    xs.push_back(p);
+    ys.push_back(s.mean());
+  }
+  t.print(std::cout);
+  if (xs.size() >= 2) {
+    const auto fit = util::fit_line(xs, ys);
+    std::cout << "\nfit: y = " << util::format_double(fit.slope, 3)
+              << " * procs + " << util::format_double(fit.intercept, 1)
+              << "  (R^2 = " << util::format_double(fit.r_squared, 3) << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// The paper's synthetic benchmark, aggregate_trace.c (§5.1): loops of timed
+// MPI_Allreduce calls with AIX-trace hook points every 64th call. Channel
+// kChanAllreduce carries one span per call; kChanStep carries one span per
+// 64-call trace block.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/config.hpp"
+#include "mpi/workload.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::apps {
+
+struct AggregateTraceConfig {
+  int loops = 3;
+  int calls_per_loop = 4096;
+  std::size_t allreduce_bytes = 8;
+  /// Simulated work between calls ("the sorts of tasks programs may perform
+  /// in the section of code where they use MPI_Allreduce").
+  sim::Duration inter_call_compute = sim::Duration::us(100);
+  double compute_jitter = 0.20;  // uniform +/- fraction
+  int trace_block = 64;
+  mpi::AllreduceAlg alg = mpi::AllreduceAlg::BinomialTree;
+  /// Untimed compute executed before the measured loop. Benches use this to
+  /// let the co-scheduler's first (period-boundary-aligned) window engage
+  /// before measurement starts, as the paper's long runs naturally did.
+  sim::Duration warmup = sim::Duration::zero();
+};
+
+/// Builds the per-rank workload factory.
+[[nodiscard]] mpi::WorkloadFactory aggregate_trace(AggregateTraceConfig cfg);
+
+}  // namespace pasched::apps

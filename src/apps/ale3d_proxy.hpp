@@ -1,0 +1,36 @@
+// A bulk-synchronous proxy for ALE3D's explicit-hydrodynamics configuration
+// (§5.1): per timestep, a compute phase with mild load imbalance, nearest-
+// neighbor halo exchange, and several global reductions; an initial state
+// read at job start and a restart dump at the end (plus optional
+// checkpoints), all through the node I/O daemons. The `detach_for_io` switch
+// exercises the prototype MPI library's co-scheduler escape API (§4).
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/config.hpp"
+#include "mpi/workload.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::apps {
+
+struct Ale3dConfig {
+  int timesteps = 50;
+  /// Per-task compute per timestep (normal, cv = compute_cv).
+  sim::Duration compute_mean = sim::Duration::ms(20);
+  double compute_cv = 0.05;
+  std::size_t halo_bytes = 32 * 1024;
+  int reductions_per_step = 6;
+  std::size_t reduce_bytes = 8;
+  std::size_t initial_read_bytes = 2 * 1024 * 1024;   // per task
+  std::size_t final_dump_bytes = 4 * 1024 * 1024;     // per task
+  int checkpoint_every = 0;                           // 0 = no checkpoints
+  std::size_t checkpoint_bytes = 1024 * 1024;
+  /// Use the Detach/Attach escape API around I/O phases.
+  bool detach_for_io = true;
+  mpi::AllreduceAlg alg = mpi::AllreduceAlg::BinomialTree;
+};
+
+[[nodiscard]] mpi::WorkloadFactory ale3d_proxy(Ale3dConfig cfg);
+
+}  // namespace pasched::apps

@@ -1,0 +1,26 @@
+// Generic bulk-synchronous SPMD workload (Figure 2's model): alternating
+// compute and synchronizing-collective phases. Used to measure what fraction
+// of runtime synchronizing collectives consume as task count grows (the
+// >50% at 1728 processors motivation numbers of §2).
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/config.hpp"
+#include "mpi/workload.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::apps {
+
+struct BspConfig {
+  int steps = 100;
+  sim::Duration compute_mean = sim::Duration::ms(2);
+  double compute_cv = 0.02;
+  int allreduces_per_step = 1;
+  std::size_t allreduce_bytes = 8;
+  mpi::AllreduceAlg alg = mpi::AllreduceAlg::BinomialTree;
+};
+
+[[nodiscard]] mpi::WorkloadFactory bsp(BspConfig cfg);
+
+}  // namespace pasched::apps

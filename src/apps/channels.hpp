@@ -1,0 +1,13 @@
+// Marker-channel conventions shared by the bundled workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace pasched::apps {
+
+inline constexpr std::uint32_t kChanAllreduce = 0;  // one span per collective
+inline constexpr std::uint32_t kChanStep = 1;       // trace block / timestep
+inline constexpr std::uint32_t kChanIo = 2;         // I/O phase
+inline constexpr std::uint32_t kChanCompute = 3;    // compute phase
+
+}  // namespace pasched::apps

@@ -1,0 +1,30 @@
+// An implicit-solver proxy (CG-style Krylov iteration): per iteration a
+// matvec compute phase, a halo exchange, and TWO small global dot-product
+// Allreduces. §5.1 singles this class out: "by using implicit hydrodynamics
+// with slide surfaces, one must use iterative linear solvers ... with
+// thousands of matrix-vector multiplies and tens or hundreds of reductions
+// per timestep" — the most collective-dense, OS-noise-sensitive application
+// class the paper names.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/workload.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::apps {
+
+struct ImplicitCgConfig {
+  int timesteps = 5;
+  /// Krylov iterations per (linearized) timestep.
+  int iterations_per_step = 40;
+  /// Matvec compute per task per iteration.
+  sim::Duration matvec_work = sim::Duration::us(800);
+  double work_cv = 0.03;
+  std::size_t halo_bytes = 8 * 1024;
+  std::size_t dot_bytes = 8;
+};
+
+[[nodiscard]] mpi::WorkloadFactory implicit_cg(ImplicitCgConfig cfg);
+
+}  // namespace pasched::apps

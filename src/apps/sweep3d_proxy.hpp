@@ -1,0 +1,36 @@
+// A Sweep3D-class wavefront proxy: tasks form a 2-D process grid; each
+// sweep pipelines dependencies from the north-west corner (recv west/north,
+// compute the pencil, send east/south). Wavefront codes are dominated by
+// *chains* of fine-grain point-to-point messages rather than global
+// collectives — a different OS-noise sensitivity profile than BSP codes
+// (interference delays propagate down the pipeline but overlap with the
+// pipeline's own slack). Part of the §7 "evaluate additional applications"
+// future work.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/workload.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::apps {
+
+struct Sweep3dConfig {
+  int timesteps = 10;
+  /// Wavefront passes per timestep (real Sweep3D does one per octant pair).
+  int sweeps_per_step = 4;
+  /// CPU work per task per sweep stage.
+  sim::Duration cell_work = sim::Duration::us(400);
+  double work_cv = 0.05;
+  std::size_t pencil_bytes = 4 * 1024;
+  /// A small convergence Allreduce after each timestep.
+  bool convergence_check = true;
+  std::size_t reduce_bytes = 8;
+};
+
+[[nodiscard]] mpi::WorkloadFactory sweep3d_proxy(Sweep3dConfig cfg);
+
+/// The process-grid factorization used by the proxy (most-square Px*Py = n).
+[[nodiscard]] std::pair<int, int> sweep_grid(int ntasks);
+
+}  // namespace pasched::apps

@@ -1,0 +1,27 @@
+#include "cluster/node.hpp"
+
+#include "util/assert.hpp"
+
+namespace pasched::cluster {
+
+Node::Node(sim::Engine& engine, kern::NodeId id, const NodeConfig& cfg,
+           sim::Rng rng)
+    : id_(id) {
+  PASCHED_EXPECTS(cfg.ncpus > 0);
+  const sim::Duration offset =
+      rng.uniform_dur(sim::Duration::zero(), cfg.max_clock_offset);
+  kernel_ = std::make_unique<kern::Kernel>(engine, id, cfg.ncpus,
+                                           cfg.tunables, offset,
+                                           rng.next_u64());
+  if (cfg.install_daemons) {
+    daemons_ = std::make_unique<daemons::NodeDaemons>(*kernel_, cfg.daemons,
+                                                      rng.fork(17));
+  }
+}
+
+void Node::start() {
+  kernel_->start();
+  if (daemons_) daemons_->start();
+}
+
+}  // namespace pasched::cluster

@@ -1,0 +1,51 @@
+// One SMP node: a kernel instance over N CPUs, its daemon population, and a
+// local clock with a boot-time offset from global time.
+#pragma once
+
+#include <memory>
+
+#include "daemons/registry.hpp"
+#include "kern/kernel.hpp"
+#include "sim/random.hpp"
+
+namespace pasched::cluster {
+
+struct NodeConfig {
+  int ncpus = 16;
+  kern::Tunables tunables;
+  daemons::RegistryConfig daemons;
+  /// Nodes boot at different times; local clocks start offset from global
+  /// time by up to this much (uniform). Clock sync (net/) removes it.
+  sim::Duration max_clock_offset = sim::Duration::ms(100);
+  /// Install the daemon population at all (off = sterile node for tests).
+  bool install_daemons = true;
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, kern::NodeId id, const NodeConfig& cfg,
+       sim::Rng rng);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Arms ticks and daemon activations. Call once before running the engine.
+  void start();
+
+  [[nodiscard]] kern::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] kern::Kernel& kernel() noexcept { return *kernel_; }
+  [[nodiscard]] const kern::Kernel& kernel() const noexcept { return *kernel_; }
+  /// nullptr when the node was built without daemons.
+  [[nodiscard]] daemons::NodeDaemons* daemons() noexcept {
+    return daemons_.get();
+  }
+  [[nodiscard]] daemons::IoService* io_service() noexcept {
+    return daemons_ ? daemons_->io_service() : nullptr;
+  }
+
+ private:
+  kern::NodeId id_;
+  std::unique_ptr<kern::Kernel> kernel_;
+  std::unique_ptr<daemons::NodeDaemons> daemons_;
+};
+
+}  // namespace pasched::cluster

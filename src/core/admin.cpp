@@ -1,0 +1,67 @@
+#include "core/admin.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace pasched::core {
+
+AdminFile AdminFile::parse(std::string_view text) {
+  AdminFile f;
+  int lineno = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++lineno;
+    const std::string line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = util::split(line, ':');
+    if (fields.size() != 6)
+      throw std::logic_error("poe.priority line " + std::to_string(lineno) +
+                             ": expected 6 ':'-separated fields");
+    PriorityClass rec;
+    rec.name = util::trim(fields[0]);
+    if (rec.name.empty())
+      throw std::logic_error("poe.priority line " + std::to_string(lineno) +
+                             ": empty class name");
+    const std::string uid_s = util::trim(fields[1]);
+    if (uid_s == "*") {
+      rec.uid = -1;
+    } else {
+      const auto uid = util::parse_int(uid_s);
+      if (!uid)
+        throw std::logic_error("poe.priority line " + std::to_string(lineno) +
+                               ": bad uid");
+      rec.uid = static_cast<int>(*uid);
+    }
+    const auto fav = util::parse_int(fields[2]);
+    const auto unfav = util::parse_int(fields[3]);
+    const auto period = util::parse_double(fields[4]);
+    const auto duty = util::parse_double(fields[5]);
+    if (!fav || !unfav || !period || !duty)
+      throw std::logic_error("poe.priority line " + std::to_string(lineno) +
+                             ": bad numeric field");
+    if (*fav < kern::kBestPriority || *fav > kern::kWorstPriority ||
+        *unfav < kern::kBestPriority || *unfav > kern::kWorstPriority)
+      throw std::logic_error("poe.priority line " + std::to_string(lineno) +
+                             ": priority out of range");
+    if (*period <= 0.0 || *duty <= 0.0 || *duty > 100.0)
+      throw std::logic_error("poe.priority line " + std::to_string(lineno) +
+                             ": period/duty out of range");
+    rec.favored = static_cast<kern::Priority>(*fav);
+    rec.unfavored = static_cast<kern::Priority>(*unfav);
+    rec.period = sim::Duration::from_seconds(*period);
+    rec.duty = *duty / 100.0;
+    f.records_.push_back(std::move(rec));
+  }
+  return f;
+}
+
+std::optional<PriorityClass> AdminFile::match(std::string_view cls,
+                                              int uid) const {
+  for (const auto& r : records_) {
+    if (r.name == cls && (r.uid == -1 || r.uid == uid)) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pasched::core

@@ -1,0 +1,51 @@
+// The administrative interface: /etc/poe.priority. Root-writable records of
+//   class_name:uid:favored:unfavored:period_seconds:duty_percent
+// A user requests co-scheduling by setting MP_PRIORITY=<class>; the job is
+// admitted only when (class, uid) matches a record (§4). Mismatches print an
+// attention message and the job runs unscheduled — we reproduce that
+// contract via the `Admission` result.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kern/types.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::core {
+
+struct PriorityClass {
+  std::string name;
+  int uid = -1;  // -1 matches any user (the "group" extension §4 hints at)
+  kern::Priority favored = 30;
+  kern::Priority unfavored = 100;
+  sim::Duration period = sim::Duration::sec(5);
+  double duty = 0.90;
+};
+
+class AdminFile {
+ public:
+  AdminFile() = default;
+
+  /// Parses poe.priority text; '#' comments and blank lines are ignored.
+  /// Throws std::logic_error with a line number on malformed records.
+  static AdminFile parse(std::string_view text);
+
+  void add(PriorityClass rec) { records_.push_back(std::move(rec)); }
+
+  /// First record matching (class name, uid); nullopt = job runs without
+  /// co-scheduling (with an attention message, per §4).
+  [[nodiscard]] std::optional<PriorityClass> match(std::string_view cls,
+                                                   int uid) const;
+
+  [[nodiscard]] const std::vector<PriorityClass>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<PriorityClass> records_;
+};
+
+}  // namespace pasched::core

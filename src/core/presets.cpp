@@ -1,0 +1,53 @@
+#include "core/presets.hpp"
+
+namespace pasched::core {
+
+kern::Tunables vanilla_kernel() {
+  kern::Tunables t;  // defaults model stock AIX: 10 ms staggered ticks,
+  t.big_tick = 1;    // per-CPU daemon queueing, no forced preemption IPIs.
+  t.synchronized_ticks = false;
+  t.cluster_aligned_ticks = false;
+  t.rt_scheduling = false;
+  t.rt_reverse_preemption = false;
+  t.rt_multi_ipi = false;
+  t.daemon_global_queue = false;
+  return t;
+}
+
+kern::Tunables prototype_kernel() {
+  kern::Tunables t;
+  // §3.1.1 — big ticks: final runs used a 250 ms physical tick.
+  t.big_tick = 25;
+  // §3.2.1 / §4 — simultaneous ticks, aligned cluster-wide (with clock sync).
+  t.synchronized_ticks = true;
+  t.cluster_aligned_ticks = true;
+  // §3 — fixed "real time scheduling": IPIs for forward *and* reverse
+  // pre-emption, multiple in flight.
+  t.rt_scheduling = true;
+  t.rt_reverse_preemption = true;
+  t.rt_multi_ipi = true;
+  // §3.1.2 — daemons dispatched from the node-global queue.
+  t.daemon_global_queue = true;
+  return t;
+}
+
+CoschedConfig paper_cosched() {
+  CoschedConfig c;  // §5.3: favored 30, unfavored 100, 5 s window, 90% duty
+  c.favored = 30;
+  c.unfavored = 100;
+  c.period = sim::Duration::sec(5);
+  c.duty = 0.90;
+  c.align_to_period_boundary = true;
+  c.sync_clocks = true;
+  return c;
+}
+
+CoschedConfig io_aware_cosched(kern::Priority io_priority) {
+  CoschedConfig c = paper_cosched();
+  // The ALE3D fix: favored just *above* (numerically one more than) the I/O
+  // daemon, so mmfsd can always preempt the tasks it serves.
+  c.favored = io_priority + 1;
+  return c;
+}
+
+}  // namespace pasched::core

@@ -1,0 +1,22 @@
+// Named configurations from the paper's evaluation (§5.3):
+//  * vanilla_kernel()   — stock AIX 4.3.3 behaviour.
+//  * prototype_kernel() — all §3 changes: big ticks (250 ms), simultaneous
+//    cluster-aligned ticks, daemon global-queue dispatch, RT scheduling with
+//    reverse pre-emption and multiple in-flight IPIs.
+//  * paper_cosched()    — the settled co-scheduler parameters: favored 30,
+//    unfavored 100, 5 s window, 90% duty.
+//  * io_aware_cosched() — the ALE3D fix: favored just above mmfsd (41 vs 40).
+#pragma once
+
+#include "core/coscheduler.hpp"
+#include "kern/tunables.hpp"
+
+namespace pasched::core {
+
+[[nodiscard]] kern::Tunables vanilla_kernel();
+[[nodiscard]] kern::Tunables prototype_kernel();
+
+[[nodiscard]] CoschedConfig paper_cosched();
+[[nodiscard]] CoschedConfig io_aware_cosched(kern::Priority io_priority = 40);
+
+}  // namespace pasched::core

@@ -1,0 +1,58 @@
+#include "core/simulation.hpp"
+
+#include <iostream>
+
+#include "util/assert.hpp"
+
+namespace pasched::core {
+
+Simulation::Simulation(SimulationConfig cfg, const mpi::WorkloadFactory& factory)
+    : cfg_(std::move(cfg)) {
+  engine_ = std::make_unique<sim::Engine>();
+  cluster_ = std::make_unique<cluster::Cluster>(*engine_, cfg_.cluster);
+  job_ = std::make_unique<mpi::Job>(*cluster_, cfg_.job, factory);
+
+  if (!cfg_.mp_priority.empty()) {
+    // MP_PRIORITY flow: the administrative file decides admission (§4).
+    PASCHED_EXPECTS_MSG(cfg_.admin.has_value(),
+                        "MP_PRIORITY set but no poe.priority records given");
+    admission_ = cfg_.admin->match(cfg_.mp_priority, cfg_.uid);
+    if (admission_.has_value()) {
+      cfg_.use_coscheduler = true;
+      cfg_.cosched.favored = admission_->favored;
+      cfg_.cosched.unfavored = admission_->unfavored;
+      cfg_.cosched.period = admission_->period;
+      cfg_.cosched.duty = admission_->duty;
+    } else {
+      // "An attention message is printed and the job runs as if no priority
+      // had been requested."
+      std::cerr << "ATTENTION: no poe.priority record matches class '"
+                << cfg_.mp_priority << "' for uid " << cfg_.uid
+                << "; job will not be co-scheduled\n";
+      cfg_.use_coscheduler = false;
+    }
+  }
+
+  if (cfg_.use_coscheduler) {
+    cosched_ = std::make_unique<CoschedManager>(*cluster_, cfg_.cosched);
+    job_->set_hook(cosched_.get());
+  }
+}
+
+Simulation::~Simulation() = default;
+
+SimulationResult Simulation::run() {
+  PASCHED_EXPECTS_MSG(!ran_, "Simulation::run called twice");
+  ran_ = true;
+  cluster_->start();
+  job_->launch();
+  engine_->run_until(engine_->now() + cfg_.horizon);
+  SimulationResult r;
+  r.completed = job_->complete();
+  r.elapsed = r.completed ? job_->elapsed() : cfg_.horizon;
+  r.events = engine_->events_processed();
+  r.any_node_evicted = cluster_->any_node_evicted();
+  return r;
+}
+
+}  // namespace pasched::core

@@ -1,0 +1,53 @@
+#include "daemons/io_service.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pasched::daemons {
+
+using sim::Duration;
+using sim::Time;
+
+IoService::IoService(kern::Kernel& kernel, IoServiceConfig cfg)
+    : kernel_(kernel), cfg_(cfg) {
+  kern::ThreadSpec ts;
+  ts.name = "mmfsd";
+  ts.cls = kern::ThreadClass::Daemon;
+  ts.base_priority = cfg_.priority;
+  ts.fixed_priority = true;
+  ts.home_cpu = cfg_.home_cpu;
+  ts.stealable = true;
+  thread_ = &kernel_.create_thread(std::move(ts), *this);
+}
+
+void IoService::submit(std::size_t bytes, sim::Engine::Callback on_complete) {
+  queue_.push_back(Request{bytes, kernel_.engine().now(), std::move(on_complete)});
+  ++stats_.requests;
+  stats_.bytes += bytes;
+  if (thread_->state() == kern::ThreadState::Blocked)
+    kernel_.wake(*thread_, kern::kExternalActor);
+}
+
+kern::RunDecision IoService::next(Time now) {
+  if (servicing_) {
+    // Burst for the front request just completed: deliver the completion.
+    servicing_ = false;
+    PASCHED_ASSERT(!queue_.empty());
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    stats_.max_queue_delay =
+        std::max(stats_.max_queue_delay, now - req.submitted);
+    req.on_complete();
+  }
+  if (queue_.empty()) return kern::RunDecision::block();
+  const Request& front = queue_.front();
+  const Duration service =
+      cfg_.per_request +
+      cfg_.per_byte * static_cast<std::int64_t>(front.bytes);
+  stats_.busy += service;
+  servicing_ = true;
+  return kern::RunDecision::compute(service);
+}
+
+}  // namespace pasched::daemons

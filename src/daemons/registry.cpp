@@ -1,0 +1,101 @@
+#include "daemons/registry.hpp"
+
+#include "util/assert.hpp"
+
+namespace pasched::daemons {
+
+using sim::Duration;
+
+namespace {
+
+DaemonSpec make(const char* name, kern::Priority prio, Duration period,
+                Duration burst, double sigma = 0.30, bool accumulates = true) {
+  DaemonSpec s;
+  s.name = name;
+  s.priority = prio;
+  s.period = period;
+  s.burst_median = burst;
+  s.burst_sigma = sigma;
+  s.accumulates = accumulates;
+  return s;
+}
+
+}  // namespace
+
+std::vector<DaemonSpec> standard_daemon_specs() {
+  std::vector<DaemonSpec> v;
+  // Workload daemons (file system, membership, batch system, monitoring) —
+  // the cast of §5.3's trace analysis. Priorities better (lower) than the
+  // 90–120 band user processes decay into.
+  v.push_back(make("syncd", 60, Duration::sec(60), Duration::ms(300), 0.35));
+  v.push_back(make("mld", 50, Duration::ms(500), Duration::us(1500), 0.30));
+  v.push_back(make("hatsd", 38, Duration::sec(1), Duration::ms(4), 0.20));
+  v.push_back(make("hats_nim", 39, Duration::sec(1), Duration::ms(2), 0.20));
+  v.push_back(make("hagsd", 42, Duration::sec(5), Duration::ms(10), 0.30));
+  v.push_back(make("inetd", 60, Duration::sec(120), Duration::ms(40), 0.40));
+  v.push_back(
+      make("LoadL_startd", 58, Duration::sec(30), Duration::ms(150), 0.40));
+  v.push_back(make("LoadL_kbdd", 60, Duration::sec(60), Duration::ms(30), 0.40));
+  v.push_back(make("hostmibd", 60, Duration::sec(60), Duration::ms(150), 0.40));
+  v.push_back(make("snmpd", 60, Duration::sec(30), Duration::ms(60), 0.40));
+  v.push_back(make("sendmail", 60, Duration::sec(300), Duration::ms(100), 0.40));
+  v.push_back(make("errdemon", 60, Duration::sec(30), Duration::ms(25), 0.30));
+  // Interrupt-level work (switch adapter, disk): short, frequent, does not
+  // accumulate when skipped.
+  v.push_back(make("phxentdd", 36, Duration::ms(100), Duration::us(150), 0.20,
+                   /*accumulates=*/false));
+  v.push_back(make("caddpin", 36, Duration::ms(200), Duration::us(200), 0.20,
+                   /*accumulates=*/false));
+  v.push_back(make("gil", 37, Duration::ms(200), Duration::us(500), 0.20,
+                   /*accumulates=*/false));
+  return v;
+}
+
+NodeDaemons::NodeDaemons(kern::Kernel& kernel, const RegistryConfig& cfg,
+                         sim::Rng rng) {
+  PASCHED_EXPECTS(cfg.intensity > 0.0);
+  auto specs = standard_daemon_specs();
+  kern::CpuId cpu = 0;
+  std::uint64_t stream = 0;
+  for (auto& spec : specs) {
+    spec.burst_median = spec.burst_median * cfg.intensity;
+    if (spec.name == "hatsd") spec.deadline = cfg.heartbeat_deadline;
+    auto d = std::make_unique<Daemon>(kernel, spec, rng.fork(stream++), cpu);
+    if (spec.name == "hatsd") heartbeat_ = d.get();
+    daemons_.push_back(std::move(d));
+    cpu = (cpu + 1) % kernel.ncpus();
+  }
+  PASCHED_ASSERT(heartbeat_ != nullptr);
+  if (cfg.cron) {
+    // The administrative health check: every 15 minutes, Perl scripts and
+    // utility commands totalling ~600 ms at priority 56, spread over several
+    // child processes (so it can consume >1 CPU briefly).
+    DaemonSpec cron = make("cron_health", 56, Duration::sec(900),
+                           Duration::ms(600) * cfg.intensity, 0.25,
+                           /*accumulates=*/false);
+    cron.workers = 4;
+    cron.first_due = cfg.cron_first_due;
+    auto d = std::make_unique<Daemon>(kernel, cron, rng.fork(stream++), cpu);
+    cron_ = d.get();
+    daemons_.push_back(std::move(d));
+  }
+  if (cfg.io_service) io_ = std::make_unique<IoService>(kernel, cfg.io);
+}
+
+void NodeDaemons::start() {
+  for (auto& d : daemons_) d->start();
+}
+
+double NodeDaemons::nominal_duty() const {
+  double total = 0.0;
+  for (const auto& d : daemons_) total += d->duty_fraction();
+  return total;
+}
+
+bool NodeDaemons::any_evicted() const {
+  for (const auto& d : daemons_)
+    if (d->spec().deadline > Duration::zero() && d->evicted()) return true;
+  return false;
+}
+
+}  // namespace pasched::daemons

@@ -1,0 +1,35 @@
+// Per-node local clock. Nodes boot with an arbitrary time-of-day offset from
+// the (simulated) true global time; the switch-clock synchronization service
+// in net/ cancels the offset, which is what lets tick interrupts and
+// co-scheduler windows align cluster-wide (§4).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace pasched::kern {
+
+class LocalClock {
+ public:
+  LocalClock() = default;
+  explicit LocalClock(sim::Duration offset) : offset_(offset) {}
+
+  /// local = global + offset.
+  [[nodiscard]] sim::Time local_of(sim::Time global) const {
+    return global + offset_;
+  }
+  [[nodiscard]] sim::Time global_of(sim::Time local) const {
+    return local - offset_;
+  }
+  [[nodiscard]] sim::Duration offset() const { return offset_; }
+
+  /// Used by the clock-sync service: adjust so that the node's local time
+  /// equals the given reference at this instant (low-order synchronization —
+  /// the paper matches only the low-order clock bits, which for scheduling
+  /// purposes is equivalent to zeroing the offset).
+  void set_offset(sim::Duration offset) { offset_ = offset; }
+
+ private:
+  sim::Duration offset_ = sim::Duration::zero();
+};
+
+}  // namespace pasched::kern

@@ -1,0 +1,96 @@
+#include "kern/schedtune.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace pasched::kern {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::logic_error("schedtune: " + what);
+}
+
+bool parse_flag(const std::string& opt, const std::string& val) {
+  const auto b = util::parse_bool(val);
+  if (!b) bad("option " + opt + " expects 0|1, got '" + val + "'");
+  return *b;
+}
+
+long long parse_num(const std::string& opt, const std::string& val) {
+  const auto n = util::parse_int(val);
+  if (!n) bad("option " + opt + " expects a number, got '" + val + "'");
+  return *n;
+}
+
+}  // namespace
+
+void apply_schedtune(Tunables& t, std::string_view options) {
+  std::vector<std::string> toks;
+  for (const auto& raw : util::split(options, ' ')) {
+    const std::string tok = util::trim(raw);
+    if (!tok.empty()) toks.push_back(tok);
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& opt = toks[i];
+    if (opt.size() != 2 || opt[0] != '-') bad("unknown token '" + opt + "'");
+    if (i + 1 >= toks.size()) bad("option " + opt + " is missing its value");
+    const std::string& val = toks[++i];
+    switch (opt[1]) {
+      case 'B': {
+        const long long n = parse_num(opt, val);
+        if (n < 1 || n > 1000) bad("-B out of range [1,1000]");
+        t.big_tick = static_cast<int>(n);
+        break;
+      }
+      case 'S':
+        t.synchronized_ticks = parse_flag(opt, val);
+        break;
+      case 'A':
+        t.cluster_aligned_ticks = parse_flag(opt, val);
+        break;
+      case 'G':
+        t.daemon_global_queue = parse_flag(opt, val);
+        break;
+      case 'R':
+        t.rt_scheduling = parse_flag(opt, val);
+        break;
+      case 'V':
+        t.rt_reverse_preemption = parse_flag(opt, val);
+        break;
+      case 'M':
+        t.rt_multi_ipi = parse_flag(opt, val);
+        break;
+      case 't': {
+        const long long us = parse_num(opt, val);
+        if (us < 100 || us > 10'000'000) bad("-t out of range [100us,10s]");
+        t.timeslice = sim::Duration::us(us);
+        break;
+      }
+      case 'i': {
+        const long long us = parse_num(opt, val);
+        if (us < 1 || us > 100'000) bad("-i out of range [1us,100ms]");
+        t.ipi_latency = sim::Duration::us(us);
+        break;
+      }
+      default:
+        bad("unknown option '" + opt + "'");
+    }
+  }
+}
+
+std::string render_schedtune(const Tunables& t) {
+  std::ostringstream os;
+  os << "-B " << t.big_tick << " -S " << (t.synchronized_ticks ? 1 : 0)
+     << " -A " << (t.cluster_aligned_ticks ? 1 : 0) << " -G "
+     << (t.daemon_global_queue ? 1 : 0) << " -R " << (t.rt_scheduling ? 1 : 0)
+     << " -V " << (t.rt_reverse_preemption ? 1 : 0) << " -M "
+     << (t.rt_multi_ipi ? 1 : 0) << " -t "
+     << t.timeslice.count() / 1000 << " -i " << t.ipi_latency.count() / 1000;
+  return os.str();
+}
+
+}  // namespace pasched::kern

@@ -1,0 +1,34 @@
+// The administrative face of the kernel options: the paper implemented its
+// changes "as options in a production operating system ... by adding options
+// to the `schedtune` command of AIX". This module parses a schedtune-style
+// option string into Tunables and renders the current settings back — the
+// interface a system administrator would script against.
+//
+// Recognized options (our extensions mirror the paper's):
+//   -B <n>   big-tick multiplier                      (§3.1.1)
+//   -S <0|1> simultaneous (synchronized) ticks        (§3.2.1)
+//   -A <0|1> cluster-aligned tick boundaries          (§4 item 1)
+//   -G <0|1> daemon global-queue dispatch             (§3.1.2)
+//   -R <0|1> real-time scheduling (forced preemption IPIs)
+//   -V <0|1> reverse-preemption IPIs                  (§3 fix 1)
+//   -M <0|1> multiple in-flight IPIs                  (§3 fix 2)
+//   -t <us>  timeslice, microseconds
+//   -i <us>  IPI latency, microseconds
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kern/tunables.hpp"
+
+namespace pasched::kern {
+
+/// Applies a schedtune option string on top of `t`. Throws std::logic_error
+/// on unknown options or malformed values, naming the offending token.
+void apply_schedtune(Tunables& t, std::string_view options);
+
+/// Renders the tunables as a schedtune option string (round-trips through
+/// apply_schedtune).
+[[nodiscard]] std::string render_schedtune(const Tunables& t);
+
+}  // namespace pasched::kern

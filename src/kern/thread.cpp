@@ -1,0 +1,58 @@
+#include "kern/thread.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pasched::kern {
+
+const char* to_string(ThreadClass c) noexcept {
+  switch (c) {
+    case ThreadClass::AppTask:
+      return "app";
+    case ThreadClass::AppAux:
+      return "aux";
+    case ThreadClass::Daemon:
+      return "daemon";
+    case ThreadClass::CoScheduler:
+      return "cosched";
+    case ThreadClass::Other:
+      return "other";
+  }
+  return "?";
+}
+
+const char* to_string(ThreadState s) noexcept {
+  switch (s) {
+    case ThreadState::Ready:
+      return "ready";
+    case ThreadState::Running:
+      return "running";
+    case ThreadState::Blocked:
+      return "blocked";
+    case ThreadState::Done:
+      return "done";
+  }
+  return "?";
+}
+
+Thread::Thread(int tid, ThreadSpec spec, ThreadClient* client)
+    : tid_(tid),
+      spec_(std::move(spec)),
+      client_(client),
+      base_prio_(spec_.base_priority),
+      fixed_prio_(spec_.fixed_priority) {
+  PASCHED_EXPECTS(client_ != nullptr);
+  PASCHED_EXPECTS(base_prio_ >= kBestPriority && base_prio_ <= kWorstPriority);
+}
+
+Priority Thread::effective_priority() const noexcept {
+  if (fixed_prio_) return base_prio_;
+  // One penalty point per penalty-unit of recent CPU, capped
+  // (AIX-flavoured usage decay; the unit comes from the kernel tunables).
+  const auto penalty = static_cast<Priority>(std::min<std::int64_t>(
+      kMaxUsagePenalty, recent_cpu_.count() / penalty_unit_.count()));
+  return std::min<Priority>(kWorstPriority, base_prio_ + penalty);
+}
+
+}  // namespace pasched::kern

@@ -1,0 +1,71 @@
+// Kernel tunables — the simulated analogue of AIX `schedtune` options plus
+// the paper's prototype-kernel switches (§3). The "vanilla" and "prototype"
+// presets in core/presets.hpp are just particular values of this struct.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace pasched::kern {
+
+struct Tunables {
+  // --- timer ticks ---------------------------------------------------------
+  /// Base tick (decrementer) interval; AIX default 10 ms (100 Hz).
+  sim::Duration base_tick_interval = sim::Duration::ms(10);
+  /// §3.1.1 "big tick": physical ticks fire every base*big_tick; timer-driven
+  /// work batches to those boundaries. Paper's final setting: 25 (250 ms).
+  int big_tick = 1;
+  /// §3.2.1: false = AIX default staggering (CPU i offset by i*interval/ncpus);
+  /// true = all CPUs of a node tick at the same instant.
+  bool synchronized_ticks = false;
+  /// §4 item 1: schedule ticks at exact multiples of the interval in *global*
+  /// time, so that (with clock sync) ticks are simultaneous cluster-wide.
+  bool cluster_aligned_ticks = false;
+  /// CPU cost of processing one tick interrupt.
+  sim::Duration tick_cost = sim::Duration::us(4);
+  /// With synchronized ticks the handlers contend for shared locks; the
+  /// paper notes AIX 5.1's shared (read) lock made this cheap. This factor
+  /// inflates tick_cost when ticks are simultaneous (1.0 = free lock).
+  double sync_tick_contention = 1.15;
+
+  // --- preemption ----------------------------------------------------------
+  /// "Real time scheduling" schedtune option: force an inter-processor
+  /// interrupt when a readied thread should preempt a remote CPU.
+  bool rt_scheduling = false;
+  /// §3 improvement 1: also IPI on "reverse pre-emption" (a running thread's
+  /// priority is lowered below that of a waiting ready thread).
+  bool rt_reverse_preemption = false;
+  /// §3 improvement 2: allow multiple preemption IPIs in flight at once.
+  bool rt_multi_ipi = false;
+  /// IPI delivery latency ("tenths of a millisecond" per §3).
+  sim::Duration ipi_latency = sim::Duration::us(200);
+
+  // --- dispatching ---------------------------------------------------------
+  /// §3.1.2: queue daemons to the node-global run queue (maximum dispatch
+  /// parallelism) instead of a home CPU (maximum locality).
+  bool daemon_global_queue = false;
+  /// Runtime inflation for daemon bursts dispatched via the global queue
+  /// (cache/locality loss — the paper's 3 ms -> ~3.1 ms example).
+  double global_queue_overhead = 0.04;
+  /// Round-robin timeslice for equal-priority threads.
+  sim::Duration timeslice = sim::Duration::ms(10);
+  /// Cost charged when a CPU switches to a different thread.
+  sim::Duration context_switch_cost = sim::Duration::us(15);
+  /// Idle CPUs may pull ready work queued to other CPUs.
+  bool idle_steal = true;
+
+  // --- priority decay ------------------------------------------------------
+  /// Recent-CPU bookkeeping halves at this period (AIX decays usage once a
+  /// second) and the usage penalty is recent_cpu / penalty_unit points.
+  sim::Duration decay_period = sim::Duration::sec(1);
+  sim::Duration penalty_unit = sim::Duration::ms(8);
+
+  [[nodiscard]] sim::Duration tick_interval() const {
+    return base_tick_interval * static_cast<std::int64_t>(big_tick);
+  }
+  [[nodiscard]] sim::Duration effective_tick_cost() const {
+    if (!synchronized_ticks) return tick_cost;
+    return tick_cost * sync_tick_contention;
+  }
+};
+
+}  // namespace pasched::kern

@@ -1,0 +1,66 @@
+#include "mpi/aux_thread.hpp"
+
+#include "util/assert.hpp"
+
+namespace pasched::mpi {
+
+using kern::RunDecision;
+using sim::Duration;
+using sim::Time;
+
+AuxThread::AuxThread(kern::Kernel& kernel, int rank, kern::CpuId cpu,
+                     const MpiConfig& cfg, sim::Rng rng)
+    : kernel_(kernel), cfg_(cfg), rng_(rng) {
+  kern::ThreadSpec ts;
+  ts.name = "mpi_timer." + std::to_string(rank);
+  ts.cls = kern::ThreadClass::AppAux;
+  ts.base_priority = kern::kNormalUserBase;
+  ts.fixed_priority = false;
+  ts.home_cpu = cpu;
+  // Bound to the task's CPU: this is why the progress engine still disrupts
+  // 15 tasks-per-node runs (§5.3) even though a CPU sits idle.
+  ts.stealable = false;
+  thread_ = &kernel.create_thread(std::move(ts), *this);
+}
+
+void AuxThread::start() {
+  // All timer threads start when the job starts, so across the cluster they
+  // fire in loose lock-step every polling interval (a few ms of skew) —
+  // which is why one disrupted Allreduce showed auxiliary-thread time
+  // "spread over several nodes" (§5.3).
+  const Duration phase =
+      cfg_.polling_interval + rng_.uniform_dur(Duration::zero(), Duration::ms(5));
+  schedule_poll(kernel_.local_now() + phase);
+}
+
+void AuxThread::schedule_poll(Time due_local) {
+  kernel_.schedule_callout(thread_->home_cpu(), due_local,
+                           [this] { on_timer(); });
+}
+
+void AuxThread::on_timer() {
+  if (cancelled_) return;
+  if (thread_->state() != kern::ThreadState::Blocked) {
+    // Previous poll still pending (starved); skip this one.
+    schedule_poll(kernel_.local_now() + cfg_.polling_interval);
+    return;
+  }
+  burst_ = rng_.uniform_dur(cfg_.aux_burst_lo, cfg_.aux_burst_hi);
+  burst_issued_ = false;
+  ++polls_;
+  kernel_.wake(*thread_, thread_->home_cpu());
+}
+
+RunDecision AuxThread::next(Time /*now*/) {
+  if (cancelled_) return RunDecision::exit();
+  if (!burst_issued_) {
+    burst_issued_ = true;
+    return RunDecision::compute(burst_);
+  }
+  schedule_poll(kernel_.local_now() + cfg_.polling_interval);
+  return RunDecision::block();
+}
+
+sim::Duration AuxThread::total_cpu() const { return thread_->total_cpu(); }
+
+}  // namespace pasched::mpi

@@ -1,0 +1,44 @@
+// The MPI progress-engine timer thread ("the auxiliary threads were
+// identified as the MPI timer threads", §5.3). One per task, pinned to the
+// task's CPU, woken every MP_POLLING_INTERVAL by a timer callout, burning a
+// short burst at normal (decaying) user priority — which beats a
+// CPU-saturated main task and disrupts tight collectives.
+#pragma once
+
+#include "kern/kernel.hpp"
+#include "mpi/config.hpp"
+#include "sim/random.hpp"
+
+namespace pasched::mpi {
+
+class AuxThread final : private kern::ThreadClient {
+ public:
+  AuxThread(kern::Kernel& kernel, int rank, kern::CpuId cpu,
+            const MpiConfig& cfg, sim::Rng rng);
+  AuxThread(const AuxThread&) = delete;
+  AuxThread& operator=(const AuxThread&) = delete;
+
+  /// Schedules the first poll; call at job launch.
+  void start();
+  /// Stops future polls (job teardown).
+  void cancel() noexcept { cancelled_ = true; }
+
+  [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
+  [[nodiscard]] sim::Duration total_cpu() const;
+
+ private:
+  kern::RunDecision next(sim::Time now) override;
+  void schedule_poll(sim::Time due_local);
+  void on_timer();
+
+  kern::Kernel& kernel_;
+  MpiConfig cfg_;
+  sim::Rng rng_;
+  kern::Thread* thread_ = nullptr;
+  sim::Duration burst_ = sim::Duration::zero();
+  bool burst_issued_ = false;
+  bool cancelled_ = false;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace pasched::mpi

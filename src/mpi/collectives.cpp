@@ -1,0 +1,219 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace pasched::mpi {
+
+namespace {
+
+int ceil_log2(int n) {
+  PASCHED_EXPECTS(n >= 1);
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+void append_reduce(std::vector<MicroOp>& out, int rank, int size, int root,
+                   std::size_t bytes, std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  PASCHED_EXPECTS(root >= 0 && root < size);
+  if (size == 1) return;
+  const int rel = (rank - root + size) % size;
+  int step = 0;
+  for (int mask = 1; mask < size; mask <<= 1, ++step) {
+    if ((rel & mask) != 0) {
+      const int peer = (rank - mask + size) % size;
+      out.push_back(MicroOp::send(peer, tag_base + static_cast<std::uint64_t>(step), bytes));
+      return;  // contributed our partial result; done with the reduction
+    }
+    if (rel + mask < size) {
+      const int peer = (rank + mask) % size;
+      out.push_back(MicroOp::recv(peer, tag_base + static_cast<std::uint64_t>(step)));
+    }
+  }
+}
+
+void append_bcast(std::vector<MicroOp>& out, int rank, int size, int root,
+                  std::size_t bytes, std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  PASCHED_EXPECTS(root >= 0 && root < size);
+  if (size == 1) return;
+  const int rel = (rank - root + size) % size;
+  int mask = 1;
+  int recv_step = -1;
+  while (mask < size) {
+    if ((rel & mask) != 0) {
+      recv_step = std::countr_zero(static_cast<unsigned>(mask));
+      const int peer = (rank - mask + size) % size;
+      out.push_back(
+          MicroOp::recv(peer, tag_base + static_cast<std::uint64_t>(recv_step)));
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < size) {
+      const int step = std::countr_zero(static_cast<unsigned>(mask));
+      const int peer = (rank + mask) % size;
+      out.push_back(MicroOp::send(
+          peer, tag_base + static_cast<std::uint64_t>(step), bytes));
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+
+void append_allreduce_rd(std::vector<MicroOp>& out, int rank, int size,
+                         std::size_t bytes, std::uint64_t tag_base) {
+  // Recursive doubling with pre/post folding for non-powers of two.
+  const int p2 = floor_pow2(size);
+  const int r = size - p2;
+  constexpr std::uint64_t kFoldStep = 0;
+  const std::uint64_t unfold_step = 1 + static_cast<std::uint64_t>(ceil_log2(p2));
+
+  int group;  // index within the power-of-two group, or -1 if folded out
+  if (rank < 2 * r) {
+    if ((rank % 2) == 0) {
+      // Even ranks of the fold region hand their data to the odd neighbor
+      // and wait for the final result at the end.
+      out.push_back(MicroOp::send(rank + 1, tag_base + kFoldStep, bytes));
+      out.push_back(MicroOp::recv(rank + 1, tag_base + unfold_step));
+      return;
+    }
+    out.push_back(MicroOp::recv(rank - 1, tag_base + kFoldStep));
+    group = rank / 2;
+  } else {
+    group = rank - r;
+  }
+  auto rank_of_group = [r](int g) { return g < r ? 2 * g + 1 : g + r; };
+  int step = 1;
+  for (int mask = 1; mask < p2; mask <<= 1, ++step) {
+    const int peer = rank_of_group(group ^ mask);
+    const std::uint64_t tag = tag_base + static_cast<std::uint64_t>(step);
+    out.push_back(MicroOp::send(peer, tag, bytes));
+    out.push_back(MicroOp::recv(peer, tag));
+  }
+  if (rank < 2 * r) {
+    out.push_back(MicroOp::send(rank - 1, tag_base + unfold_step, bytes));
+  }
+}
+
+}  // namespace
+
+void append_allreduce(std::vector<MicroOp>& out, int rank, int size,
+                      std::size_t bytes, std::uint64_t tag_base,
+                      AllreduceAlg alg) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  if (size == 1) return;
+  switch (alg) {
+    case AllreduceAlg::BinomialTree:
+      append_reduce(out, rank, size, /*root=*/0, bytes, tag_base);
+      append_bcast(out, rank, size, /*root=*/0, bytes, tag_base + kTagStride / 2);
+      return;
+    case AllreduceAlg::RecursiveDoubling:
+      append_allreduce_rd(out, rank, size, bytes, tag_base);
+      return;
+    case AllreduceAlg::HardwareSwitch:
+      // One contribution, then wait for the switch's combined result.
+      out.push_back(MicroOp::hw_collective(tag_base, bytes));
+      out.push_back(MicroOp::recv(kHwSwitchRank, tag_base));
+      return;
+  }
+}
+
+void append_barrier(std::vector<MicroOp>& out, int rank, int size,
+                    std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  if (size == 1) return;
+  const int rounds = ceil_log2(size);
+  for (int k = 0; k < rounds; ++k) {
+    const int dist = 1 << k;
+    const int to = (rank + dist) % size;
+    const int from = (rank - dist % size + size) % size;
+    const std::uint64_t tag = tag_base + static_cast<std::uint64_t>(k);
+    out.push_back(MicroOp::send(to, tag, 0));
+    out.push_back(MicroOp::recv(from, tag));
+  }
+}
+
+void append_allgather_ring(std::vector<MicroOp>& out, int rank, int size,
+                           std::size_t bytes, std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  for (int k = 0; k < size - 1; ++k) {
+    const std::uint64_t tag = tag_base + static_cast<std::uint64_t>(k);
+    out.push_back(MicroOp::send(right, tag, bytes));
+    out.push_back(MicroOp::recv(left, tag));
+  }
+}
+
+void append_allgather_bruck(std::vector<MicroOp>& out, int rank, int size,
+                            std::size_t bytes, std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  if (size == 1) return;
+  int held = 1;  // blocks currently held (own block first)
+  int step = 0;
+  for (int dist = 1; dist < size; dist <<= 1, ++step) {
+    const int to = (rank - dist % size + size) % size;
+    const int from = (rank + dist) % size;
+    const int moved = std::min(held, size - held);
+    const std::uint64_t tag = tag_base + static_cast<std::uint64_t>(step);
+    out.push_back(MicroOp::send(to, tag,
+                                bytes * static_cast<std::size_t>(moved)));
+    out.push_back(MicroOp::recv(from, tag));
+    held += moved;
+  }
+}
+
+void append_alltoall_pairwise(std::vector<MicroOp>& out, int rank, int size,
+                              std::size_t bytes, std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  for (int k = 1; k < size; ++k) {
+    const int to = (rank + k) % size;
+    const int from = (rank - k % size + size) % size;
+    const std::uint64_t tag = tag_base + static_cast<std::uint64_t>(k);
+    out.push_back(MicroOp::send(to, tag, bytes));
+    out.push_back(MicroOp::recv(from, tag));
+  }
+}
+
+void append_halo_exchange(std::vector<MicroOp>& out, int rank, int size,
+                          std::size_t bytes, std::uint64_t tag_base) {
+  PASCHED_EXPECTS(size >= 1 && rank >= 0 && rank < size);
+  if (size == 1) return;
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  out.push_back(MicroOp::send(right, tag_base + 0, bytes));
+  if (size > 2) out.push_back(MicroOp::send(left, tag_base + 1, bytes));
+  out.push_back(MicroOp::recv(left, tag_base + 0));
+  if (size > 2) out.push_back(MicroOp::recv(right, tag_base + 1));
+}
+
+int tree_allreduce_steps(int size) { return 2 * ceil_log2(size); }
+
+sim::Duration ideal_allreduce(int size, const MpiConfig& mpi,
+                              sim::Duration wire_latency,
+                              sim::Duration per_byte, std::size_t bytes) {
+  // Critical-path model: each of the 2*ceil(log2 N) tree levels costs one
+  // message injection, the wire, and one receive on the critical chain.
+  const auto steps = static_cast<std::int64_t>(tree_allreduce_steps(size));
+  const sim::Duration per_step = mpi.o_send + mpi.o_recv + wire_latency +
+                                 per_byte * static_cast<std::int64_t>(bytes);
+  return per_step * steps;
+}
+
+}  // namespace pasched::mpi

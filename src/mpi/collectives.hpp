@@ -1,0 +1,66 @@
+// Collective communication schedules, expanded into point-to-point MicroOps
+// per rank. Tags encode (collective sequence number, step) so concurrent
+// collectives never alias: tag = tag_base + step, with tag_base strided by
+// kTagStride per collective instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/config.hpp"
+#include "mpi/microop.hpp"
+
+namespace pasched::mpi {
+
+/// Tag stride reserved per collective instance (max steps of any schedule).
+inline constexpr std::uint64_t kTagStride = 128;
+
+/// Binomial-tree reduction to rank `root`.
+void append_reduce(std::vector<MicroOp>& out, int rank, int size, int root,
+                   std::size_t bytes, std::uint64_t tag_base);
+
+/// Binomial-tree broadcast from rank `root`.
+void append_bcast(std::vector<MicroOp>& out, int rank, int size, int root,
+                  std::size_t bytes, std::uint64_t tag_base);
+
+/// Allreduce per `alg`: reduce+bcast tree (the paper's "standard tree
+/// algorithm", <= 2*log2(N) p2p steps) or recursive doubling.
+void append_allreduce(std::vector<MicroOp>& out, int rank, int size,
+                      std::size_t bytes, std::uint64_t tag_base,
+                      AllreduceAlg alg);
+
+/// Dissemination barrier (ceil(log2 N) rounds).
+void append_barrier(std::vector<MicroOp>& out, int rank, int size,
+                    std::uint64_t tag_base);
+
+/// Ring allgather: N-1 rounds of shift-by-one, `bytes` contributed per rank.
+void append_allgather_ring(std::vector<MicroOp>& out, int rank, int size,
+                           std::size_t bytes, std::uint64_t tag_base);
+
+/// Bruck allgather: ceil(log2 N) rounds, works for any N; round k moves
+/// min(2^k, N-2^k) blocks of `bytes` each.
+void append_allgather_bruck(std::vector<MicroOp>& out, int rank, int size,
+                            std::size_t bytes, std::uint64_t tag_base);
+
+/// Pairwise-exchange alltoall: N-1 rounds, rank exchanges `bytes` with
+/// (rank +/- k) mod N in round k.
+void append_alltoall_pairwise(std::vector<MicroOp>& out, int rank, int size,
+                              std::size_t bytes, std::uint64_t tag_base);
+
+/// Bidirectional nearest-neighbor halo exchange on a 1-D periodic ring.
+void append_halo_exchange(std::vector<MicroOp>& out, int rank, int size,
+                          std::size_t bytes, std::uint64_t tag_base);
+
+/// Number of p2p steps on rank 0's critical path of a tree allreduce —
+/// used by the analytic "expected ~350 us" model quoted in §5.3.
+[[nodiscard]] int tree_allreduce_steps(int size);
+
+/// Analytic ideal allreduce duration for the given runtime/network costs
+/// (no interference): the model line of Figure 4.
+[[nodiscard]] sim::Duration ideal_allreduce(int size, const MpiConfig& mpi,
+                                            sim::Duration wire_latency,
+                                            sim::Duration per_byte,
+                                            std::size_t bytes);
+
+}  // namespace pasched::mpi

@@ -1,0 +1,62 @@
+// Tunables of the message-passing runtime (the simulated analogue of IBM
+// Parallel Environment MPI): per-message software overheads, collective
+// algorithm selection, and the timer-thread "progress engine" whose default
+// 400 ms period §5.3 identifies as an interference source
+// (MP_POLLING_INTERVAL).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace pasched::mpi {
+
+enum class AllreduceAlg {
+  /// Binomial-tree reduce to rank 0 followed by binomial broadcast —
+  /// the paper's "standard tree algorithm" with <= 2*log2(N) p2p steps.
+  BinomialTree,
+  /// Recursive doubling (with pre/post folding for non-powers of two).
+  RecursiveDoubling,
+  /// Switch-offloaded combine (§7 future work, "hardware assisted
+  /// collectives"): one contribution per task, result broadcast by the
+  /// adapter — O(1) software steps, but still gated by the slowest
+  /// contributor, so OS interference remains visible.
+  HardwareSwitch,
+};
+
+/// How a task waits for a message that has not arrived yet.
+enum class RecvWait {
+  /// Busy-wait on the CPU (dedicated-use HPC style; the paper's setting).
+  Spin,
+  /// Spin for `spin_threshold`, then block and rely on a wakeup at message
+  /// arrival — the NOW-style demand-based co-scheduling of the related-work
+  /// literature ([Ousterhout82], [Sobalvarro97], [Dusseau96], §6 category 3).
+  SpinBlock,
+};
+
+struct MpiConfig {
+  /// Software overhead charged on the CPU per message sent / received.
+  sim::Duration o_send = sim::Duration::us(6);
+  sim::Duration o_recv = sim::Duration::us(6);
+  AllreduceAlg allreduce_alg = AllreduceAlg::BinomialTree;
+
+  RecvWait recv_wait = RecvWait::Spin;
+  /// SpinBlock: spin this long before yielding (zero = block immediately).
+  sim::Duration spin_threshold = sim::Duration::us(50);
+  /// SpinBlock: cost of the arrival interrupt + wakeup path on the receiver.
+  sim::Duration wakeup_cost = sim::Duration::us(8);
+
+  /// MPI progress-engine timer thread (one per task). The default period is
+  /// IBM MPI's 400 ms; MP_POLLING_INTERVAL raises it (§5.3 uses 400 s to
+  /// neutralize the threads entirely).
+  /// Latency of the switch's combine stage for hardware-assisted
+  /// collectives (§7 future work), charged once after the last contribution.
+  sim::Duration hw_collective_latency = sim::Duration::us(5);
+
+  bool progress_engine = true;
+  sim::Duration polling_interval = sim::Duration::ms(400);
+  sim::Duration aux_burst_lo = sim::Duration::us(100);
+  sim::Duration aux_burst_hi = sim::Duration::us(200);
+};
+
+}  // namespace pasched::mpi

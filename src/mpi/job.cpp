@@ -1,0 +1,166 @@
+#include "mpi/job.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace pasched::mpi {
+
+using sim::Duration;
+using sim::Time;
+
+Job::Job(cluster::Cluster& cluster, JobConfig cfg,
+         const WorkloadFactory& factory)
+    : cluster_(cluster), cfg_(cfg) {
+  PASCHED_EXPECTS(cfg_.ntasks >= 1);
+  PASCHED_EXPECTS(cfg_.tasks_per_node >= 1);
+  const int nodes_needed =
+      (cfg_.ntasks + cfg_.tasks_per_node - 1) / cfg_.tasks_per_node;
+  PASCHED_EXPECTS_MSG(
+      cfg_.first_node + nodes_needed <= cluster_.size(),
+      "job does not fit on the cluster");
+  PASCHED_EXPECTS_MSG(
+      cfg_.tasks_per_node <=
+          cluster_.node(cfg_.first_node).kernel().ncpus(),
+      "tasks_per_node exceeds CPUs per node");
+  sim::Rng job_rng(cfg_.seed);
+  for (int rank = 0; rank < cfg_.ntasks; ++rank) {
+    const int node_id = cfg_.first_node + rank / cfg_.tasks_per_node;
+    const kern::CpuId cpu = rank % cfg_.tasks_per_node;
+    cluster::Node& node = cluster_.node(node_id);
+    PASCHED_EXPECTS_MSG(cpu < node.kernel().ncpus(),
+                        "tasks_per_node exceeds CPUs per node");
+    tasks_.push_back(std::make_unique<Task>(
+        *this, rank, cfg_.ntasks, node, cpu, factory(rank, cfg_.ntasks),
+        job_rng.fork(static_cast<std::uint64_t>(rank))));
+    if (cfg_.mpi.progress_engine) {
+      aux_.push_back(std::make_unique<AuxThread>(
+          node.kernel(), rank, cpu, cfg_.mpi,
+          job_rng.fork(1'000'000 + static_cast<std::uint64_t>(rank))));
+    }
+  }
+}
+
+Job::~Job() = default;
+
+void Job::launch() {
+  launch_time_ = cluster_.engine().now();
+  // MPI_Init registration: each task's PID reaches the node co-scheduler
+  // through the pmd control pipe.
+  if (hook_ != nullptr) {
+    for (auto& t : tasks_)
+      hook_->register_task(t->node().id(), t->thread());
+  }
+  for (auto& t : tasks_) t->launch();
+  for (auto& a : aux_) a->start();
+}
+
+void Job::inject(Task& from, int dst_rank, std::uint64_t tag,
+                 std::size_t bytes) {
+  PASCHED_EXPECTS(dst_rank >= 0 && dst_rank < ntasks());
+  Task* dst = tasks_[static_cast<std::size_t>(dst_rank)].get();
+  const int src_rank = from.rank();
+  cluster_.fabric().send(from.node().id(), dst->node().id(), bytes,
+                         [dst, src_rank, tag] { dst->deposit(src_rank, tag); });
+}
+
+void Job::submit_io(Task& t, std::size_t bytes) {
+  daemons::IoService* local = t.node().io_service();
+  PASCHED_EXPECTS_MSG(local != nullptr,
+                      "workload issues I/O but the node has no I/O daemon");
+  // GPFS-style request: local daemon work plus data shipped to peer nodes'
+  // daemons; the request completes when every shard has been serviced.
+  const int shards =
+      std::min(cfg_.io_remote_shards, cluster_.size() - 1);
+  Task* tp = &t;
+  auto remaining = std::make_shared<int>(1 + std::max(0, shards));
+  auto done_one = [tp, remaining] {
+    if (--*remaining == 0) tp->io_complete();
+  };
+  const std::size_t share =
+      bytes / static_cast<std::size_t>(1 + std::max(0, shards));
+  local->submit(std::max<std::size_t>(share, 1), done_one);
+  const int home = t.node().id();
+  for (int s = 0; s < shards; ++s) {
+    // Deterministic shard placement spread over the cluster.
+    const int peer =
+        (home + 1 + (t.rank() + s) % (cluster_.size() - 1)) % cluster_.size();
+    daemons::IoService* rio = cluster_.node(peer).io_service();
+    if (rio == nullptr) {
+      done_one();
+      continue;
+    }
+    // Ship the data over the fabric, then let the peer daemon service it.
+    const std::size_t sbytes = std::max<std::size_t>(share, 1);
+    cluster_.fabric().send(home, peer, sbytes, [rio, sbytes, done_one] {
+      rio->submit(sbytes, done_one);
+    });
+  }
+}
+
+void Job::hw_contribute(Task& t, std::uint64_t seq, std::size_t bytes) {
+  // Contribution travels to the switch's combine unit (one wire hop); the
+  // unit fires when the last task has contributed and broadcasts the result
+  // to every task via its adapter.
+  (void)t;
+  const int got = ++hw_pending_[seq];
+  if (got < ntasks()) return;
+  hw_pending_.erase(seq);
+  const sim::Duration wire =
+      cluster_.fabric().latency_for(0, cluster_.size() > 1 ? 1 : 0, bytes);
+  Job* self = this;
+  cluster_.engine().schedule_after(
+      wire * 2 + cfg_.mpi.hw_collective_latency, [self, seq] {
+        for (auto& task : self->tasks_)
+          task->deposit(kHwSwitchRank, seq);
+      });
+}
+
+void Job::on_span(Task& t, std::uint32_t channel, std::uint64_t /*seq*/,
+                  Time begin, Time end) {
+  PASCHED_EXPECTS(channel < kMaxChannels);
+  const double us = (end - begin).to_us();
+  ChannelStats& ch = channels_[channel];
+  ch.all_us.add(us);
+  if (t.rank() == cfg_.record_rank) {
+    ch.recorded_us.push_back(us);
+    ch.recorded_begin.push_back(begin);
+  }
+}
+
+void Job::task_finished(Task& /*t*/, Time now) {
+  ++finished_;
+  if (complete()) {
+    completion_time_ = now;
+    for (auto& a : aux_) a->cancel();
+    if (hook_ != nullptr) hook_->job_ended();
+    if (cfg_.stop_engine_on_complete) cluster_.engine().stop();
+  }
+}
+
+void Job::hook_detach(Task& t) {
+  if (hook_ != nullptr) hook_->detach_task(t.node().id(), t.thread());
+}
+
+void Job::hook_attach(Task& t) {
+  if (hook_ != nullptr) hook_->attach_task(t.node().id(), t.thread());
+}
+
+const ChannelStats& Job::channel(std::uint32_t ch) const {
+  PASCHED_EXPECTS(ch < kMaxChannels);
+  return channels_[ch];
+}
+
+Task& Job::task(int rank) {
+  PASCHED_EXPECTS(rank >= 0 && rank < ntasks());
+  return *tasks_[static_cast<std::size_t>(rank)];
+}
+
+Duration Job::aux_cpu_total() const {
+  Duration total = Duration::zero();
+  for (const auto& a : aux_) total += a->total_cpu();
+  return total;
+}
+
+}  // namespace pasched::mpi

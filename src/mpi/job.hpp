@@ -1,0 +1,114 @@
+// A parallel job: task placement across the cluster, message routing,
+// timing-span collection, completion detection, and the control-pipe link
+// to the co-scheduler (via SchedulerHook).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mpi/aux_thread.hpp"
+#include "mpi/config.hpp"
+#include "mpi/hook.hpp"
+#include "mpi/task.hpp"
+#include "mpi/workload.hpp"
+#include "util/stats.hpp"
+
+namespace pasched::mpi {
+
+struct JobConfig {
+  int ntasks = 16;
+  /// Tasks placed block-wise: node = first_node + rank / tasks_per_node,
+  /// CPU = rank % tasks_per_node. 15 here on 16-way nodes reproduces the
+  /// "leave one CPU for the daemons" convention of §2.
+  int tasks_per_node = 16;
+  int first_node = 0;
+  MpiConfig mpi;
+  /// Rank whose per-call span durations are recorded verbatim (Figure 4
+  /// extracts per-Allreduce times from one node's trace).
+  int record_rank = 0;
+  bool stop_engine_on_complete = true;
+  std::uint64_t seed = 12345;
+
+  /// GPFS-style distributed I/O: each request is served partly by the local
+  /// mmfsd and partly shipped to this many peer nodes' daemons. This is why
+  /// a co-scheduler that starves daemons on *compute* nodes stalls I/O
+  /// issued elsewhere (§5.3's ALE3D slowdown).
+  int io_remote_shards = 2;
+};
+
+/// Aggregate timing data for one marker channel.
+struct ChannelStats {
+  /// Every (task, span) duration in microseconds.
+  util::Accumulator all_us;
+  /// Per-span durations (us) of the recorded rank, in sequence order.
+  std::vector<double> recorded_us;
+  /// Matching span start times (for trace attribution of outliers).
+  std::vector<sim::Time> recorded_begin;
+};
+
+class Job {
+ public:
+  Job(cluster::Cluster& cluster, JobConfig cfg, const WorkloadFactory& factory);
+  ~Job();
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Optional co-scheduler wiring; set before launch().
+  void set_hook(SchedulerHook* hook) noexcept { hook_ = hook; }
+
+  /// Registers all tasks with the hook and wakes every task thread (and
+  /// progress-engine aux threads, if configured).
+  void launch();
+
+  [[nodiscard]] bool complete() const noexcept {
+    return finished_ == static_cast<int>(tasks_.size());
+  }
+  [[nodiscard]] sim::Time launch_time() const noexcept { return launch_time_; }
+  [[nodiscard]] sim::Time completion_time() const noexcept {
+    return completion_time_;
+  }
+  [[nodiscard]] sim::Duration elapsed() const noexcept {
+    return completion_time_ - launch_time_;
+  }
+
+  [[nodiscard]] const ChannelStats& channel(std::uint32_t ch) const;
+  [[nodiscard]] const JobConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const MpiConfig& mpi_config() const noexcept {
+    return cfg_.mpi;
+  }
+  [[nodiscard]] Task& task(int rank);
+  [[nodiscard]] int ntasks() const noexcept {
+    return static_cast<int>(tasks_.size());
+  }
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
+  /// Total CPU consumed by all progress-engine threads.
+  [[nodiscard]] sim::Duration aux_cpu_total() const;
+
+ private:
+  friend class Task;
+
+  void inject(Task& from, int dst_rank, std::uint64_t tag, std::size_t bytes);
+  void submit_io(Task& t, std::size_t bytes);
+  void hw_contribute(Task& t, std::uint64_t seq, std::size_t bytes);
+  void on_span(Task& t, std::uint32_t channel, std::uint64_t seq,
+               sim::Time begin, sim::Time end);
+  void task_finished(Task& t, sim::Time now);
+  void hook_detach(Task& t);
+  void hook_attach(Task& t);
+
+  cluster::Cluster& cluster_;
+  JobConfig cfg_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<AuxThread>> aux_;
+  SchedulerHook* hook_ = nullptr;
+  std::array<ChannelStats, kMaxChannels> channels_;
+  std::unordered_map<std::uint64_t, int> hw_pending_;  // seq -> contributions
+  int finished_ = 0;
+  sim::Time launch_time_{};
+  sim::Time completion_time_{};
+};
+
+}  // namespace pasched::mpi

@@ -1,0 +1,104 @@
+// The task interpreter's instruction set. Workloads (aggregate_trace, the
+// ALE3D proxy, ...) emit short sequences of these on demand; the Task
+// ThreadClient executes them against the kernel + fabric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pasched::mpi {
+
+/// Virtual "rank" of the switch's collective-offload unit (never collides
+/// with a real rank: jobs are far smaller than 2^23 tasks).
+inline constexpr int kHwSwitchRank = 0x7FFFFF;
+
+struct MicroOp {
+  enum class Kind : std::uint8_t {
+    Compute,    // burn CPU for `dur`
+    Send,       // o_send CPU, then inject message (peer, tag, bytes)
+    Recv,       // spin until (peer, tag) arrives, then o_recv CPU
+    Io,         // submit `bytes` to the node I/O daemon and block
+    MarkBegin,  // open timing span (channel, seq) — zero cost
+    MarkEnd,    // close timing span — zero cost
+    Detach,     // ask the co-scheduler to stop favoring this task (I/O phase)
+    Attach,     // re-join co-scheduling
+    HwCollective,  // contribute to a switch-offloaded collective (§7
+                   // future work: "hardware assisted collectives"), then
+                   // spin until the switch delivers the combined result
+  };
+
+  Kind kind = Kind::Compute;
+  sim::Duration dur = sim::Duration::zero();  // Compute
+  int peer = -1;                              // Send / Recv
+  std::uint64_t tag = 0;                      // Send / Recv
+  std::size_t bytes = 0;                      // Send / Io
+  std::uint32_t channel = 0;                  // Mark*
+  std::uint64_t seq = 0;                      // Mark*
+
+  [[nodiscard]] static MicroOp compute(sim::Duration d) {
+    MicroOp op;
+    op.kind = Kind::Compute;
+    op.dur = d;
+    return op;
+  }
+  [[nodiscard]] static MicroOp send(int peer, std::uint64_t tag,
+                                    std::size_t bytes) {
+    MicroOp op;
+    op.kind = Kind::Send;
+    op.peer = peer;
+    op.tag = tag;
+    op.bytes = bytes;
+    return op;
+  }
+  [[nodiscard]] static MicroOp recv(int peer, std::uint64_t tag) {
+    MicroOp op;
+    op.kind = Kind::Recv;
+    op.peer = peer;
+    op.tag = tag;
+    return op;
+  }
+  [[nodiscard]] static MicroOp io(std::size_t bytes) {
+    MicroOp op;
+    op.kind = Kind::Io;
+    op.bytes = bytes;
+    return op;
+  }
+  [[nodiscard]] static MicroOp mark_begin(std::uint32_t channel,
+                                          std::uint64_t seq) {
+    MicroOp op;
+    op.kind = Kind::MarkBegin;
+    op.channel = channel;
+    op.seq = seq;
+    return op;
+  }
+  [[nodiscard]] static MicroOp mark_end(std::uint32_t channel,
+                                        std::uint64_t seq) {
+    MicroOp op;
+    op.kind = Kind::MarkEnd;
+    op.channel = channel;
+    op.seq = seq;
+    return op;
+  }
+  [[nodiscard]] static MicroOp detach() {
+    MicroOp op;
+    op.kind = Kind::Detach;
+    return op;
+  }
+  [[nodiscard]] static MicroOp attach() {
+    MicroOp op;
+    op.kind = Kind::Attach;
+    return op;
+  }
+  [[nodiscard]] static MicroOp hw_collective(std::uint64_t seq,
+                                             std::size_t bytes) {
+    MicroOp op;
+    op.kind = Kind::HwCollective;
+    op.seq = seq;
+    op.bytes = bytes;
+    return op;
+  }
+};
+
+}  // namespace pasched::mpi

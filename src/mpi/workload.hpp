@@ -1,0 +1,32 @@
+// Workload interface: a task's program, produced incrementally so that a
+// million-collective run never materializes as a giant op list.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/microop.hpp"
+#include "sim/random.hpp"
+
+namespace pasched::mpi {
+
+struct TaskInfo {
+  int rank = 0;
+  int size = 1;
+  sim::Rng* rng = nullptr;  // per-task deterministic stream
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  /// Appends the next chunk of the program to `out` (which is empty on
+  /// entry). Returns false when the task has no more work (out stays empty).
+  virtual bool refill(const TaskInfo& info, std::vector<MicroOp>& out) = 0;
+};
+
+/// Builds the per-rank workload instances of a job.
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(int rank, int size)>;
+
+}  // namespace pasched::mpi

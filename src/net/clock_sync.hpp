@@ -1,0 +1,36 @@
+// The SP switch exposes a globally synchronized clock register; PSSP lets an
+// ordinary user program read it. The co-scheduler startup sequence reads it
+// and slews the node's local (AIX) time-of-day so the low-order bits match
+// (§4). We model this as: switch time == true global simulation time, and
+// synchronization sets the node clock's offset to a small residual error.
+#pragma once
+
+#include "kern/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::net {
+
+class SwitchClock {
+ public:
+  explicit SwitchClock(const sim::Engine& engine) : engine_(engine) {}
+
+  /// Reading the adapter's time register: the true global time.
+  [[nodiscard]] sim::Time read() const { return engine_.now(); }
+
+ private:
+  const sim::Engine& engine_;
+};
+
+struct ClockSyncConfig {
+  /// Residual error after synchronization (register read + slew accuracy).
+  sim::Duration max_residual_error = sim::Duration::us(2);
+};
+
+/// Synchronizes a node's local clock against the switch clock. Returns the
+/// offset that remains after synchronization.
+sim::Duration synchronize(kern::LocalClock& clock, const SwitchClock& sw,
+                          const ClockSyncConfig& cfg, sim::Rng& rng);
+
+}  // namespace pasched::net

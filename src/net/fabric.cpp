@@ -1,0 +1,60 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pasched::net {
+
+using sim::Duration;
+using sim::Time;
+
+Fabric::Fabric(sim::Engine& engine, FabricConfig cfg, sim::Rng rng)
+    : engine_(engine), cfg_(cfg), rng_(rng) {
+  PASCHED_EXPECTS(cfg_.inter_node_latency > Duration::zero());
+  PASCHED_EXPECTS(cfg_.intra_node_latency > Duration::zero());
+  PASCHED_EXPECTS(cfg_.jitter_frac >= 0.0 && cfg_.jitter_frac < 1.0);
+}
+
+Duration Fabric::latency_for(kern::NodeId src, kern::NodeId dst,
+                             std::size_t bytes) const {
+  const Duration base =
+      src == dst ? cfg_.intra_node_latency : cfg_.inter_node_latency;
+  return base + cfg_.per_byte * static_cast<std::int64_t>(bytes);
+}
+
+void Fabric::send(kern::NodeId src, kern::NodeId dst, std::size_t bytes,
+                  sim::Engine::Callback on_deliver) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  if (src == dst) ++stats_.intra_node;
+  Duration lat = latency_for(src, dst, bytes);
+  if (cfg_.jitter_frac > 0.0) lat = rng_.jittered(lat, cfg_.jitter_frac);
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(src))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst);
+  Time depart = engine_.now();
+  if (cfg_.link_bandwidth > 0.0 && src != dst) {
+    // Serialize on the sender's egress link, then occupy the receiver's
+    // ingress link: a burst of messages into one node queues up.
+    const Duration xfer = Duration::from_seconds(
+        static_cast<double>(std::max<std::size_t>(bytes, 1)) /
+        cfg_.link_bandwidth);
+    Time& efree = egress_free_[static_cast<std::uint32_t>(src)];
+    depart = std::max(depart, efree);
+    efree = depart + xfer;
+    Time& ifree = ingress_free_[static_cast<std::uint32_t>(dst)];
+    const Time arrive_start = std::max(depart + lat - xfer, ifree);
+    ifree = arrive_start + xfer;
+    depart = arrive_start + xfer - lat;  // so deliver_at lands after ingress
+  }
+  Time deliver_at = depart + lat;
+  const auto it = last_delivery_.find(key);
+  if (it != last_delivery_.end() && deliver_at <= it->second)
+    deliver_at = it->second + Duration::ns(1);  // FIFO per pair
+  last_delivery_[key] = deliver_at;
+  engine_.schedule_at(deliver_at, std::move(on_deliver));
+}
+
+}  // namespace pasched::net

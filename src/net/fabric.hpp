@@ -1,0 +1,63 @@
+// The cluster interconnect: a point-to-point latency/bandwidth model of the
+// SP switch plus intra-node shared-memory transport. Delivery preserves FIFO
+// order per (src, dst) pair, like the real adapter microcode.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kern/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::net {
+
+struct FabricConfig {
+  /// One-way wire+adapter latency between two nodes (SP switch class).
+  sim::Duration inter_node_latency = sim::Duration::us(20);
+  /// Shared-memory transport latency within a node.
+  sim::Duration intra_node_latency = sim::Duration::us(1);
+  /// Serialization cost per byte (≈500 MB/s switch link).
+  sim::Duration per_byte = sim::Duration::ns(2);
+  /// Multiplicative uniform jitter applied to each delivery (+/- frac).
+  double jitter_frac = 0.02;
+  /// Optional per-node link contention: when > 0, each node's egress and
+  /// ingress serialize at this bandwidth (bytes/second), so bursts of
+  /// messages into one node (e.g. a reduction root) queue behind each
+  /// other. 0 = contention-free (the default latency/bandwidth model).
+  double link_bandwidth = 0.0;
+};
+
+struct FabricStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t intra_node = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, FabricConfig cfg, sim::Rng rng);
+
+  /// Sends `bytes` from src to dst; `on_deliver` runs at the destination's
+  /// arrival time. Deliveries between the same pair never reorder.
+  void send(kern::NodeId src, kern::NodeId dst, std::size_t bytes,
+            sim::Engine::Callback on_deliver);
+
+  [[nodiscard]] sim::Duration latency_for(kern::NodeId src, kern::NodeId dst,
+                                          std::size_t bytes) const;
+  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return cfg_; }
+
+ private:
+  sim::Engine& engine_;
+  FabricConfig cfg_;
+  sim::Rng rng_;
+  FabricStats stats_;
+  std::unordered_map<std::uint64_t, sim::Time> last_delivery_;
+  // Link-contention state: the time each node's egress/ingress link frees up.
+  std::unordered_map<std::uint32_t, sim::Time> egress_free_;
+  std::unordered_map<std::uint32_t, sim::Time> ingress_free_;
+};
+
+}  // namespace pasched::net

@@ -1,0 +1,43 @@
+// Umbrella header: the full public API of the pasched library.
+//
+//   #include "pasched.hpp"
+//
+// pulls in the simulation engine, the kernel/daemon/network substrates, the
+// MPI runtime, the co-scheduler (the paper's contribution) and the bundled
+// workloads. Most users only need core/simulation.hpp + apps/*.
+#pragma once
+
+#include "sim/engine.hpp"      // IWYU pragma: export
+#include "sim/random.hpp"      // IWYU pragma: export
+#include "sim/time.hpp"        // IWYU pragma: export
+
+#include "kern/kernel.hpp"     // IWYU pragma: export
+#include "kern/schedtune.hpp"  // IWYU pragma: export
+#include "kern/tunables.hpp"   // IWYU pragma: export
+
+#include "daemons/registry.hpp"  // IWYU pragma: export
+#include "net/clock_sync.hpp"    // IWYU pragma: export
+#include "net/fabric.hpp"        // IWYU pragma: export
+
+#include "cluster/cluster.hpp"  // IWYU pragma: export
+
+#include "mpi/collectives.hpp"  // IWYU pragma: export
+#include "mpi/job.hpp"          // IWYU pragma: export
+
+#include "trace/trace.hpp"  // IWYU pragma: export
+
+#include "core/admin.hpp"        // IWYU pragma: export
+#include "core/coscheduler.hpp"  // IWYU pragma: export
+#include "core/presets.hpp"      // IWYU pragma: export
+#include "core/simulation.hpp"   // IWYU pragma: export
+
+#include "apps/aggregate_trace.hpp"  // IWYU pragma: export
+#include "apps/ale3d_proxy.hpp"      // IWYU pragma: export
+#include "apps/bsp.hpp"              // IWYU pragma: export
+#include "apps/implicit_cg.hpp"      // IWYU pragma: export
+#include "apps/sweep3d_proxy.hpp"    // IWYU pragma: export
+#include "apps/channels.hpp"         // IWYU pragma: export
+
+#include "util/flags.hpp"  // IWYU pragma: export
+#include "util/stats.hpp"  // IWYU pragma: export
+#include "util/table.hpp"  // IWYU pragma: export

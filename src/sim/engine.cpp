@@ -1,0 +1,111 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pasched::sim {
+
+std::uint32_t Engine::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t idx) noexcept {
+  Slot& s = slots_[idx];
+  s.fn.reset();
+  ++s.gen;  // invalidate any outstanding EventIds / heap entries
+  s.armed = false;
+  free_.push_back(idx);
+}
+
+EventId Engine::schedule_at(Time t, Callback fn) {
+  PASCHED_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push_back(HeapItem{t, seq_++, idx, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+  ++live_;
+  return EventId{idx, s.gen};
+}
+
+void Engine::cancel(EventId id) noexcept {
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.gen != id.gen || !s.armed) return;  // already fired / cancelled
+  --live_;
+  release_slot(id.slot);
+}
+
+bool Engine::pending(EventId id) const noexcept {
+  if (!id.valid() || id.slot >= slots_.size()) return false;
+  const Slot& s = slots_[id.slot];
+  return s.gen == id.gen && s.armed;
+}
+
+bool Engine::fire_next() {
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+    Slot& s = slots_[top.slot];
+    if (s.gen != top.gen || !s.armed) continue;  // stale (cancelled) entry
+    PASCHED_ASSERT(top.t >= now_);
+    now_ = top.t;
+    // Move the callback out before releasing so the handler can freely
+    // schedule/cancel (including reusing this very slot).
+    Callback fn = std::move(s.fn);
+    --live_;
+    release_slot(top.slot);
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && fire_next()) {
+  }
+}
+
+bool Engine::run_until(Time deadline) {
+  PASCHED_EXPECTS(deadline >= now_);
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek: find the next live event time without firing.
+    bool fired = false;
+    while (!heap_.empty()) {
+      const HeapItem& top = heap_.front();
+      const Slot& s = slots_[top.slot];
+      if (s.gen != top.gen || !s.armed) {
+        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+        heap_.pop_back();
+        continue;
+      }
+      if (top.t > deadline) {
+        now_ = deadline;
+        return true;
+      }
+      fired = fire_next();
+      break;
+    }
+    if (!fired) {
+      if (heap_.empty()) {
+        now_ = deadline;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace pasched::sim

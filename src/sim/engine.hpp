@@ -1,0 +1,95 @@
+// The discrete-event simulation engine: a time-ordered event queue with
+// stable FIFO tie-breaking and O(1) cancellation. Everything in pasched —
+// kernel ticks, IPIs, CPU burst completions, network deliveries, daemon
+// timers — is an event scheduled here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/callback.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::sim {
+
+/// Handle to a scheduled event. Cancelling an already-fired or already-
+/// cancelled event is a harmless no-op (generation counters detect it).
+struct EventId {
+  std::uint32_t slot = UINT32_MAX;
+  std::uint32_t gen = 0;
+  [[nodiscard]] bool valid() const noexcept { return slot != UINT32_MAX; }
+  friend bool operator==(EventId a, EventId b) = default;
+};
+
+class Engine {
+ public:
+  using Callback = InlineCallback<48>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()). Events with the
+  /// same timestamp fire in scheduling order.
+  EventId schedule_at(Time t, Callback fn);
+  EventId schedule_after(Duration d, Callback fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels the event if it has not fired yet; no-op otherwise.
+  void cancel(EventId id) noexcept;
+
+  /// True if the event is still pending.
+  [[nodiscard]] bool pending(EventId id) const noexcept;
+
+  /// Runs events until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= deadline; afterwards now() == deadline
+  /// (unless stopped earlier). Returns false if stopped before the deadline.
+  bool run_until(Time deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return live_; }
+
+ private:
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;
+    bool armed = false;
+  };
+  struct HeapItem {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct HeapLater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx) noexcept;
+  bool fire_next();
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapItem> heap_;
+  Time now_ = Time::zero();
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pasched::sim

@@ -1,0 +1,105 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pasched::sim {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_origin_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::fork(std::uint64_t stream) const noexcept {
+  std::uint64_t sm = seed_origin_ ^ (0xa0761d6478bd642fULL * (stream + 1));
+  return Rng(splitmix64(sm));
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is negligible for our ranges (<< 2^64) and determinism is
+  // what matters here.
+  return lo + static_cast<std::int64_t>(next_u64() % range);
+}
+
+bool Rng::bernoulli(double p) noexcept { return next_double() < p; }
+
+double Rng::exponential(double mean) noexcept {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mu + sigma * cached_normal_;
+  }
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.141592653589793238462643 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mu + sigma * r * std::cos(theta);
+}
+
+double Rng::lognormal_med(double median, double sigma) noexcept {
+  PASCHED_EXPECTS(median > 0.0);
+  return median * std::exp(normal(0.0, sigma));
+}
+
+Duration Rng::uniform_dur(Duration lo, Duration hi) noexcept {
+  return Duration::ns(uniform_int(lo.count(), hi.count()));
+}
+
+Duration Rng::exponential_dur(Duration mean) noexcept {
+  return Duration::ns(
+      static_cast<std::int64_t>(exponential(static_cast<double>(mean.count()))));
+}
+
+Duration Rng::jittered(Duration mean, double frac) noexcept {
+  const double f = uniform(1.0 - frac, 1.0 + frac);
+  return Duration::ns(
+      static_cast<std::int64_t>(static_cast<double>(mean.count()) * f));
+}
+
+}  // namespace pasched::sim

@@ -1,0 +1,62 @@
+// Deterministic random number generation: xoshiro256** seeded via
+// splitmix64, plus the distributions the interference models need.
+// Every stochastic component (daemon bursts, jitter, clock offsets) draws
+// from an explicitly seeded Rng so whole-cluster runs replay bit-exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pasched::sim {
+
+/// splitmix64 — used for seeding and for cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derives an independent child stream (stable function of parent seed
+  /// and `stream` index — children do not perturb the parent).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Standard normal via Box-Muller (cached pair).
+  [[nodiscard]] double normal(double mu, double sigma) noexcept;
+
+  /// Lognormal parameterized by the *median* and the shape sigma:
+  /// exp(N(ln median, sigma)). Median parameterization keeps daemon burst
+  /// configs human-readable.
+  [[nodiscard]] double lognormal_med(double median, double sigma) noexcept;
+
+  /// Duration helpers ------------------------------------------------------
+  [[nodiscard]] Duration uniform_dur(Duration lo, Duration hi) noexcept;
+  [[nodiscard]] Duration exponential_dur(Duration mean) noexcept;
+  /// mean +/- up to frac*mean of uniform jitter.
+  [[nodiscard]] Duration jittered(Duration mean, double frac) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t seed_origin_;
+};
+
+}  // namespace pasched::sim

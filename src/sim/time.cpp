@@ -1,0 +1,11 @@
+#include "sim/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace pasched::sim {
+
+std::string Duration::str() const { return util::format_ns(ns_); }
+
+std::string Time::str() const { return "t+" + util::format_ns(ns_); }
+
+}  // namespace pasched::sim

@@ -1,0 +1,167 @@
+// Simulation time: 64-bit signed nanoseconds since simulation epoch.
+// `Duration` and `Time` are distinct strong types so that "a point on the
+// cluster's global timeline" can never be silently mixed with "an interval"
+// — a real hazard in this codebase, where tick alignment arithmetic (local
+// clock offsets, big-tick boundaries, co-scheduler windows) is everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pasched::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration ns(std::int64_t v) {
+    return Duration{v};
+  }
+  [[nodiscard]] static constexpr Duration us(std::int64_t v) {
+    return Duration{v * 1000};
+  }
+  [[nodiscard]] static constexpr Duration ms(std::int64_t v) {
+    return Duration{v * 1000 * 1000};
+  }
+  [[nodiscard]] static constexpr Duration sec(std::int64_t v) {
+    return Duration{v * 1000 * 1000 * 1000};
+  }
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{INT64_MAX};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_us() const {
+    return static_cast<double>(ns_) / 1e3;
+  }
+  [[nodiscard]] constexpr double to_ms() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+
+  constexpr Duration& operator+=(Duration d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return a * k;
+  }
+  friend constexpr Duration operator*(Duration a, int k) {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr Duration operator*(int k, Duration a) { return a * k; }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration{a.ns_ / k};
+  }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr Duration operator%(Duration a, Duration b) {
+    return Duration{a.ns_ % b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.ns_}; }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time zero() { return Time{}; }
+  [[nodiscard]] static constexpr Time from_ns(std::int64_t v) {
+    Time t;
+    t.ns_ = v;
+    return t;
+  }
+  [[nodiscard]] static constexpr Time max() { return from_ns(INT64_MAX); }
+
+  /// Nanoseconds since the simulation epoch.
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+  [[nodiscard]] constexpr Duration since_epoch() const {
+    return Duration::ns(ns_);
+  }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  friend constexpr Time operator+(Time t, Duration d) {
+    return from_ns(t.ns_ + d.count());
+  }
+  friend constexpr Time operator+(Duration d, Time t) { return t + d; }
+  friend constexpr Time operator-(Time t, Duration d) {
+    return from_ns(t.ns_ - d.count());
+  }
+  friend constexpr Duration operator-(Time a, Time b) {
+    return Duration::ns(a.ns_ - b.ns_);
+  }
+  constexpr Time& operator+=(Duration d) {
+    ns_ += d.count();
+    return *this;
+  }
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  /// First time point >= *this that is an exact multiple of `period` when
+  /// measured with the given phase shift: result = k*period + phase.
+  /// Used for tick alignment and co-scheduler window boundaries.
+  [[nodiscard]] constexpr Time align_up(Duration period,
+                                        Duration phase = Duration::zero()) const {
+    const std::int64_t p = period.count();
+    const std::int64_t ph = ((phase.count() % p) + p) % p;
+    const std::int64_t base = ns_ - ph;
+    std::int64_t k = base / p;
+    if (k * p < base) ++k;
+    std::int64_t cand = k * p + ph;
+    if (cand < ns_) cand += p;
+    return from_ns(cand);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::ns(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::us(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::ms(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::sec(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace pasched::sim

@@ -1,0 +1,147 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace pasched::trace {
+
+using sim::Duration;
+using sim::Time;
+
+Tracer::Tracer(kern::NodeId node_filter) : node_filter_(node_filter) {}
+
+void Tracer::attach(kern::Kernel& kernel) {
+  kernel.set_observer(this);
+  const auto node = static_cast<std::size_t>(kernel.node_id());
+  if (open_.size() <= node) open_.resize(node + 1);
+  open_[node].resize(static_cast<std::size_t>(kernel.ncpus()));
+}
+
+Tracer::Open& Tracer::slot(kern::NodeId node, kern::CpuId cpu) {
+  const auto n = static_cast<std::size_t>(node);
+  if (open_.size() <= n) open_.resize(n + 1);
+  auto& cpus = open_[n];
+  if (cpus.size() <= static_cast<std::size_t>(cpu))
+    cpus.resize(static_cast<std::size_t>(cpu) + 1);
+  return cpus[static_cast<std::size_t>(cpu)];
+}
+
+void Tracer::close_slot(Open& o, Time t, kern::NodeId node, kern::CpuId cpu) {
+  if (o.thread != nullptr && enabled_ && t > o.since) {
+    intervals_.push_back(Interval{o.since, t, node, cpu, o.thread});
+  }
+  o.thread = nullptr;
+}
+
+void Tracer::enable(Time now) {
+  enabled_ = true;
+  // Occupants at enable time start their interval now.
+  for (auto& cpus : open_)
+    for (auto& o : cpus)
+      if (o.thread != nullptr) o.since = now;
+}
+
+void Tracer::disable(Time now) {
+  for (std::size_t n = 0; n < open_.size(); ++n) {
+    for (std::size_t c = 0; c < open_[n].size(); ++c) {
+      Open& o = open_[n][c];
+      if (o.thread != nullptr && enabled_ && now > o.since) {
+        intervals_.push_back(Interval{o.since, now, static_cast<int>(n),
+                                      static_cast<int>(c), o.thread});
+        o.since = now;  // remains the occupant; interval restarts if re-enabled
+      }
+    }
+  }
+  enabled_ = false;
+}
+
+void Tracer::clear() { intervals_.clear(); }
+
+void Tracer::on_dispatch(Time t, kern::NodeId node, kern::CpuId cpu,
+                         const kern::Thread& th) {
+  ++counts_.dispatches;
+  if (node_filter_ >= 0 && node != node_filter_) return;
+  Open& o = slot(node, cpu);
+  close_slot(o, t, node, cpu);
+  o.thread = &th;
+  o.since = t;
+}
+
+void Tracer::on_preempt(Time /*t*/, kern::NodeId node, kern::CpuId /*cpu*/,
+                        const kern::Thread& /*th*/) {
+  ++counts_.preemptions;
+  (void)node;
+}
+
+void Tracer::on_tick(Time /*t*/, kern::NodeId /*node*/, kern::CpuId /*cpu*/) {
+  ++counts_.ticks;
+}
+
+void Tracer::on_ipi(Time /*t*/, kern::NodeId /*node*/, kern::CpuId /*cpu*/) {
+  ++counts_.ipis;
+}
+
+void Tracer::on_idle(Time t, kern::NodeId node, kern::CpuId cpu) {
+  if (node_filter_ >= 0 && node != node_filter_) return;
+  Open& o = slot(node, cpu);
+  close_slot(o, t, node, cpu);
+}
+
+std::vector<Attribution> attribute(const std::vector<Interval>& intervals,
+                                   kern::NodeId node, Time t0, Time t1,
+                                   bool exclude_app) {
+  PASCHED_EXPECTS(t1 >= t0);
+  // Aggregate by thread name so the same daemon on multiple traced nodes
+  // shows up once (with its cluster-wide CPU time in the window).
+  std::map<std::pair<std::string, kern::ThreadClass>, Duration> acc;
+  for (const Interval& iv : intervals) {
+    if (node >= 0 && iv.node != node) continue;
+    const Time b = std::max(iv.begin, t0);
+    const Time e = std::min(iv.end, t1);
+    if (e <= b) continue;
+    if (exclude_app && iv.thread->cls() == kern::ThreadClass::AppTask)
+      continue;
+    acc[{iv.thread->name(), iv.thread->cls()}] += e - b;
+  }
+  std::vector<Attribution> out;
+  out.reserve(acc.size());
+  for (const auto& [key, d] : acc)
+    out.push_back(Attribution{key.first, key.second, d});
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.cpu_time > b.cpu_time;
+  });
+  return out;
+}
+
+double all_cpus_app_fraction(const std::vector<Interval>& intervals,
+                             kern::NodeId node, int ncpus, Time t0, Time t1) {
+  PASCHED_EXPECTS(t1 > t0);
+  PASCHED_EXPECTS(ncpus > 0);
+  // Sweep: +1 when a CPU starts running app work, -1 when it stops.
+  std::vector<std::pair<Time, int>> edges;
+  for (const Interval& iv : intervals) {
+    if (iv.node != node) continue;
+    if (iv.thread->cls() != kern::ThreadClass::AppTask) continue;
+    const Time b = std::max(iv.begin, t0);
+    const Time e = std::min(iv.end, t1);
+    if (e <= b) continue;
+    edges.emplace_back(b, +1);
+    edges.emplace_back(e, -1);
+  }
+  std::sort(edges.begin(), edges.end());
+  Duration green = Duration::zero();
+  int depth = 0;
+  Time last = t0;
+  for (const auto& [t, d] : edges) {
+    if (depth >= ncpus) green += t - last;
+    depth += d;
+    last = t;
+  }
+  if (depth >= ncpus) green += t1 - last;
+  return static_cast<double>(green.count()) /
+         static_cast<double>((t1 - t0).count());
+}
+
+}  // namespace pasched::trace

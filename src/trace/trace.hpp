@@ -1,0 +1,94 @@
+// The AIX `trace` facility analogue: records who occupied each CPU and when,
+// so outliers can be attributed ("an administrative cron job ran during the
+// slowest Allreduce", §5.3). Implemented as a kern::SchedObserver installed
+// on each node's kernel; recording can be windowed to keep memory bounded,
+// exactly like the paper enabling tracing only around the Allreduce loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::trace {
+
+/// A closed occupancy interval: `thread` ran on (node, cpu) for [begin, end).
+struct Interval {
+  sim::Time begin;
+  sim::Time end;
+  kern::NodeId node;
+  kern::CpuId cpu;
+  const kern::Thread* thread;  // threads outlive the simulation
+};
+
+struct TraceCounts {
+  std::uint64_t dispatches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t ipis = 0;
+};
+
+class Tracer final : public kern::SchedObserver {
+ public:
+  /// `node_filter` restricts recording to one node (-1 = all nodes).
+  explicit Tracer(kern::NodeId node_filter = -1);
+
+  /// Installs this tracer as the observer of the kernel.
+  void attach(kern::Kernel& kernel);
+
+  /// Starts/stops interval recording (counts are always maintained).
+  void enable(sim::Time now);
+  void disable(sim::Time now);
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] const TraceCounts& counts() const noexcept { return counts_; }
+  void clear();
+
+  // kern::SchedObserver ------------------------------------------------------
+  void on_dispatch(sim::Time t, kern::NodeId node, kern::CpuId cpu,
+                   const kern::Thread& th) override;
+  void on_preempt(sim::Time t, kern::NodeId node, kern::CpuId cpu,
+                  const kern::Thread& th) override;
+  void on_tick(sim::Time t, kern::NodeId node, kern::CpuId cpu) override;
+  void on_ipi(sim::Time t, kern::NodeId node, kern::CpuId cpu) override;
+  void on_idle(sim::Time t, kern::NodeId node, kern::CpuId cpu) override;
+
+ private:
+  struct Open {
+    const kern::Thread* thread = nullptr;
+    sim::Time since{};
+  };
+  [[nodiscard]] Open& slot(kern::NodeId node, kern::CpuId cpu);
+  void close_slot(Open& o, sim::Time t, kern::NodeId node, kern::CpuId cpu);
+
+  kern::NodeId node_filter_;
+  bool enabled_ = false;
+  std::vector<std::vector<Open>> open_;  // [node][cpu]
+  std::vector<Interval> intervals_;
+  TraceCounts counts_;
+};
+
+/// CPU time by thread within [t0, t1) on one node (or all nodes with -1),
+/// most-consuming first. `exclude_app` drops the job's own task threads —
+/// what remains is the interference the paper's trace analysis hunts for.
+struct Attribution {
+  std::string name;
+  kern::ThreadClass cls;
+  sim::Duration cpu_time;
+};
+[[nodiscard]] std::vector<Attribution> attribute(
+    const std::vector<Interval>& intervals, kern::NodeId node, sim::Time t0,
+    sim::Time t1, bool exclude_app);
+
+/// Fraction of [t0, t1) during which *every* CPU of `node` was running an
+/// AppTask thread — the "green" time of Figure 1.
+[[nodiscard]] double all_cpus_app_fraction(
+    const std::vector<Interval>& intervals, kern::NodeId node, int ncpus,
+    sim::Time t0, sim::Time t1);
+
+}  // namespace pasched::trace

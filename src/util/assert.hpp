@@ -1,0 +1,59 @@
+// Lightweight always-on contract checks, in the spirit of the C++ Core
+// Guidelines' Expects/Ensures. The simulator is deterministic; a violated
+// invariant means a modeling bug, so we fail fast with a precise message
+// rather than continuing with a corrupt schedule.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pasched::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pasched::util
+
+#define PASCHED_EXPECTS(cond)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pasched::util::contract_failure("Precondition", #cond, __FILE__,     \
+                                        __LINE__, "");                       \
+  } while (0)
+
+#define PASCHED_EXPECTS_MSG(cond, msg)                                       \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pasched::util::contract_failure("Precondition", #cond, __FILE__,     \
+                                        __LINE__, (msg));                    \
+  } while (0)
+
+#define PASCHED_ENSURES(cond)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pasched::util::contract_failure("Postcondition", #cond, __FILE__,    \
+                                        __LINE__, "");                       \
+  } while (0)
+
+#define PASCHED_ASSERT(cond)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pasched::util::contract_failure("Invariant", #cond, __FILE__,        \
+                                        __LINE__, "");                       \
+  } while (0)
+
+#define PASCHED_ASSERT_MSG(cond, msg)                                        \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pasched::util::contract_failure("Invariant", #cond, __FILE__,        \
+                                        __LINE__, (msg));                    \
+  } while (0)

@@ -1,0 +1,119 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace pasched::util {
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  std::string section;
+  int lineno = 0;
+  for (const auto& raw : split(text, '\n')) {
+    ++lineno;
+    std::string line = trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw std::logic_error("config line " + std::to_string(lineno) +
+                               ": unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      // Register the section even if empty.
+      cfg.data_[section];
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::logic_error("config line " + std::to_string(lineno) +
+                             ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw std::logic_error("config line " + std::to_string(lineno) +
+                             ": empty key");
+    cfg.data_[section][key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::logic_error("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(const std::string& section, const std::string& key,
+                 std::string value) {
+  data_[section][key] = std::move(value);
+}
+
+bool Config::has(std::string_view section, std::string_view key) const {
+  const auto s = data_.find(section);
+  if (s == data_.end()) return false;
+  return s->second.find(key) != s->second.end();
+}
+
+std::optional<std::string> Config::get(std::string_view section,
+                                       std::string_view key) const {
+  const auto s = data_.find(section);
+  if (s == data_.end()) return std::nullopt;
+  const auto k = s->second.find(key);
+  if (k == s->second.end()) return std::nullopt;
+  return k->second;
+}
+
+std::string Config::get_or(std::string_view section, std::string_view key,
+                           std::string_view fallback) const {
+  const auto v = get(section, key);
+  return v ? *v : std::string(fallback);
+}
+
+long long Config::get_int(std::string_view section, std::string_view key,
+                          long long fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  const auto parsed = parse_int(*v);
+  PASCHED_EXPECTS_MSG(parsed.has_value(),
+                      "config key is not an integer: " + *v);
+  return *parsed;
+}
+
+double Config::get_double(std::string_view section, std::string_view key,
+                          double fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  const auto parsed = parse_double(*v);
+  PASCHED_EXPECTS_MSG(parsed.has_value(), "config key is not a number: " + *v);
+  return *parsed;
+}
+
+bool Config::get_bool(std::string_view section, std::string_view key,
+                      bool fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  const auto parsed = parse_bool(*v);
+  PASCHED_EXPECTS_MSG(parsed.has_value(), "config key is not a bool: " + *v);
+  return *parsed;
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  for (const auto& [s, _] : data_) out.push_back(s);
+  return out;
+}
+
+std::vector<std::string> Config::keys(std::string_view section) const {
+  std::vector<std::string> out;
+  const auto s = data_.find(section);
+  if (s == data_.end()) return out;
+  for (const auto& [k, _] : s->second) out.push_back(k);
+  return out;
+}
+
+}  // namespace pasched::util

@@ -1,0 +1,51 @@
+// A tiny INI-style configuration reader: `[section]` headers and
+// `key = value` lines, `#`/`;` comments. Used for experiment configuration
+// files; the /etc/poe.priority admin file has its own record format parsed
+// in core/admin.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pasched::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses from text; throws std::logic_error with line info on bad syntax.
+  static Config parse(std::string_view text);
+  /// Loads a file; throws on I/O failure or bad syntax.
+  static Config load(const std::string& path);
+
+  void set(const std::string& section, const std::string& key,
+           std::string value);
+
+  [[nodiscard]] bool has(std::string_view section, std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view section,
+                                               std::string_view key) const;
+  [[nodiscard]] std::string get_or(std::string_view section,
+                                   std::string_view key,
+                                   std::string_view fallback) const;
+  [[nodiscard]] long long get_int(std::string_view section,
+                                  std::string_view key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(std::string_view section,
+                                  std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view section, std::string_view key,
+                              bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] std::vector<std::string> keys(std::string_view section) const;
+
+ private:
+  // section -> key -> value; "" is the implicit top-level section.
+  std::map<std::string, std::map<std::string, std::string, std::less<>>,
+           std::less<>>
+      data_;
+};
+
+}  // namespace pasched::util

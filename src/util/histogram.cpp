@@ -1,0 +1,122 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace pasched::util {
+
+namespace {
+
+std::string render_rows(std::size_t bins, std::size_t max_bar,
+                        const std::vector<std::size_t>& counts,
+                        const std::function<double(std::size_t)>& lo_of,
+                        const std::function<double(std::size_t)>& hi_of) {
+  std::size_t peak = 1;
+  for (auto c : counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const auto bar = counts[b] * max_bar / peak;
+    os << format_double(lo_of(b), 3) << " .. " << format_double(hi_of(b), 3)
+       << " | " << std::string(bar, '#') << " " << counts[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  PASCHED_EXPECTS(hi > lo);
+  PASCHED_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  PASCHED_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  PASCHED_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  PASCHED_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  return render_rows(
+      counts_.size(), max_bar_width, counts_,
+      [this](std::size_t b) { return bin_low(b); },
+      [this](std::size_t b) { return bin_high(b); });
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), counts_(bins, 0) {
+  PASCHED_EXPECTS(lo > 0.0 && hi > lo);
+  PASCHED_EXPECTS(bins > 0);
+  ratio_ = std::pow(hi / lo, 1.0 / static_cast<double>(bins));
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    return;
+  }
+  const auto raw = std::log(x / lo_) / std::log(ratio_);
+  if (raw >= static_cast<double>(counts_.size())) {
+    ++over_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(raw)];
+}
+
+std::size_t LogHistogram::count(std::size_t bin) const {
+  PASCHED_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double LogHistogram::bin_low(std::size_t bin) const {
+  PASCHED_EXPECTS(bin < counts_.size());
+  return lo_ * std::pow(ratio_, static_cast<double>(bin));
+}
+
+double LogHistogram::bin_high(std::size_t bin) const {
+  PASCHED_EXPECTS(bin < counts_.size());
+  return lo_ * std::pow(ratio_, static_cast<double>(bin + 1));
+}
+
+std::string LogHistogram::render(std::size_t max_bar_width) const {
+  return render_rows(
+      counts_.size(), max_bar_width, counts_,
+      [this](std::size_t b) { return bin_low(b); },
+      [this](std::size_t b) { return bin_high(b); });
+}
+
+}  // namespace pasched::util

@@ -1,0 +1,66 @@
+// Fixed-bin histogram with ASCII rendering, used by the trace-forensics
+// example and by benches that show distribution shape (Figure 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pasched::util {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); samples outside are counted in under/over.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return under_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return over_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering: one row per bin with a proportional bar.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t under_ = 0;
+  std::size_t over_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Histogram whose bins grow geometrically — right choice for latency data
+/// that spans microseconds to hundreds of milliseconds (Allreduce outliers).
+class LogHistogram {
+ public:
+  /// Bins: [lo*r^k, lo*r^(k+1)) for k = 0..bins-1 where r is chosen so the
+  /// last bin ends at hi. Requires 0 < lo < hi.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double ratio_;
+  std::vector<std::size_t> counts_;
+  std::size_t under_ = 0;
+  std::size_t over_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pasched::util

@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pasched::util {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::cv() const noexcept {
+  return mean_ == 0.0 ? 0.0 : stddev() / mean_;
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary::Summary(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+  Accumulator acc;
+  for (double x : sorted_) acc.add(x);
+  mean_ = acc.mean();
+  stddev_ = acc.stddev();
+  total_ = acc.sum();
+}
+
+double Summary::cv() const noexcept {
+  return mean_ == 0.0 ? 0.0 : stddev_ / mean_;
+}
+
+double Summary::min() const noexcept {
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::max() const noexcept {
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::median() const { return percentile(50.0); }
+
+double Summary::percentile(double p) const {
+  PASCHED_EXPECTS_MSG(!sorted_.empty(), "percentile of empty sample set");
+  PASCHED_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  PASCHED_EXPECTS(xs.size() == ys.size());
+  PASCHED_EXPECTS_MSG(xs.size() >= 2, "need at least two points to fit");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PASCHED_EXPECTS_MSG(sxx > 0.0, "all x values identical");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  fit.n = xs.size();
+  return fit;
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double median_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return Summary(xs).median();
+}
+
+}  // namespace pasched::util

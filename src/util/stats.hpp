@@ -1,0 +1,84 @@
+// Descriptive statistics and least-squares fitting used by the benchmark
+// harness to reproduce the paper's reported quantities (means, medians,
+// percentile outliers, coefficient of variation, and the linear fits of
+// Figure 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pasched::util {
+
+/// Running single-pass accumulator (Welford) for mean/variance; suitable for
+/// long simulation streams where storing every sample is wasteful.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a full sample set (stores a sorted copy on construction).
+class Summary {
+ public:
+  explicit Summary(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+  [[nodiscard]] double cv() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double median() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Result of an ordinary least-squares straight-line fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// Fits y = slope*x + intercept; requires xs.size() == ys.size() >= 2 and at
+/// least two distinct x values.
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Convenience: arithmetic mean of a span (0 for empty input).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Convenience: median of a span (copies and sorts; 0 for empty input).
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+}  // namespace pasched::util

@@ -1,0 +1,85 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace pasched::util {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::optional<long long> parse_int(std::string_view s) {
+  const std::string t = trim(s);
+  if (t.empty()) return std::nullopt;
+  long long v = 0;
+  const auto* first = t.data();
+  const auto* last = t.data() + t.size();
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  if (t.empty()) return std::nullopt;
+  // std::from_chars<double> availability varies; strtod is fine here.
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+  const std::string t = to_lower(trim(s));
+  if (t == "1" || t == "true" || t == "yes" || t == "on") return true;
+  if (t == "0" || t == "false" || t == "no" || t == "off") return false;
+  return std::nullopt;
+}
+
+std::string format_double(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, x);
+  return buf;
+}
+
+std::string format_ns(long long ns) {
+  const double v = static_cast<double>(ns);
+  if (std::llabs(ns) < 1000) return format_double(v, 0) + " ns";
+  if (std::llabs(ns) < 1000000) return format_double(v / 1e3, 2) + " us";
+  if (std::llabs(ns) < 1000000000) return format_double(v / 1e6, 2) + " ms";
+  return format_double(v / 1e9, 2) + " s";
+}
+
+}  // namespace pasched::util

@@ -1,0 +1,29 @@
+// Small string utilities shared by the config reader, table printer and
+// benchmark output code.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pasched::util {
+
+[[nodiscard]] std::string trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parses an integer/double/bool; returns nullopt on any trailing garbage.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s);
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view s);
+
+/// Fixed-precision double formatting without locale surprises.
+[[nodiscard]] std::string format_double(double x, int precision);
+
+/// Human-readable duration given nanoseconds (e.g. "350.2 us", "1.32 s").
+[[nodiscard]] std::string format_ns(long long ns);
+
+}  // namespace pasched::util

@@ -1,0 +1,42 @@
+// Fixed-width console table printer. Every reproduction bench reports its
+// rows through this so the harness output is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pasched::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell builders.
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(long long v);
+  static std::string cell(unsigned long long v);
+  static std::string cell(int v);
+  static std::string cell(std::size_t v);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders with a header rule; columns are right-aligned except the first.
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section banner around a table (bench output convention).
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace pasched::util

@@ -1,0 +1,135 @@
+// The additional application proxies (Sweep3D-class wavefront, implicit CG)
+// and the schedtune administrative interface.
+#include <gtest/gtest.h>
+
+#include "apps/channels.hpp"
+#include "apps/implicit_cg.hpp"
+#include "apps/sweep3d_proxy.hpp"
+#include "cluster/cluster.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "kern/schedtune.hpp"
+#include "mpi/job.hpp"
+
+using namespace pasched;
+using sim::Duration;
+
+TEST(SweepGrid, MostSquareFactorization) {
+  EXPECT_EQ(apps::sweep_grid(1), (std::pair{1, 1}));
+  EXPECT_EQ(apps::sweep_grid(16), (std::pair{4, 4}));
+  EXPECT_EQ(apps::sweep_grid(24), (std::pair{4, 6}));
+  EXPECT_EQ(apps::sweep_grid(13), (std::pair{1, 13}));  // prime: 1 x N
+  EXPECT_EQ(apps::sweep_grid(944), (std::pair{16, 59}));
+}
+
+namespace {
+
+core::SimulationConfig sterile_cfg(int ntasks, std::uint64_t seed) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost((ntasks + 15) / 16);
+  cfg.cluster.seed = seed;
+  cfg.cluster.node.install_daemons = false;
+  cfg.job.ntasks = ntasks;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.mpi.progress_engine = false;
+  cfg.job.seed = seed + 1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Sweep3dProxy, CompletesAndPipelines) {
+  apps::Sweep3dConfig sw;
+  sw.timesteps = 3;
+  sw.sweeps_per_step = 2;
+  core::Simulation sim(sterile_cfg(16, 61), apps::sweep3d_proxy(sw));
+  const auto r = sim.run();
+  ASSERT_TRUE(r.completed);
+  // One step span per timestep from every task.
+  EXPECT_EQ(sim.job().channel(apps::kChanStep).all_us.count(), 3u * 16u);
+  // Wavefront pipelining: the far corner waits for the whole front, and
+  // consecutive sweeps overlap in the pipeline, so a step takes at least
+  // (pipeline depth + sweeps - 1) stages of ~cell_work — far less than
+  // sweeps * depth (which would mean no pipelining at all).
+  const auto [px, py] = apps::sweep_grid(16);
+  const double stage_us = sw.cell_work.to_us();
+  const double lower = (px + py - 2 + sw.sweeps_per_step) * stage_us * 0.7;
+  const double upper =
+      (px + py - 1) * sw.sweeps_per_step * stage_us * 3.0;
+  const double mean = sim.job().channel(apps::kChanStep).all_us.mean();
+  EXPECT_GT(mean, lower);
+  EXPECT_LT(mean, upper);
+}
+
+TEST(Sweep3dProxy, ConvergenceCheckOptional) {
+  apps::Sweep3dConfig sw;
+  sw.timesteps = 2;
+  sw.convergence_check = false;
+  core::Simulation sim(sterile_cfg(8, 62), apps::sweep3d_proxy(sw));
+  ASSERT_TRUE(sim.run().completed);
+  EXPECT_EQ(sim.job().channel(apps::kChanAllreduce).all_us.count(), 0u);
+}
+
+TEST(ImplicitCg, TwoDotsPerIteration) {
+  apps::ImplicitCgConfig cg;
+  cg.timesteps = 2;
+  cg.iterations_per_step = 5;
+  core::Simulation sim(sterile_cfg(16, 63), apps::implicit_cg(cg));
+  ASSERT_TRUE(sim.run().completed);
+  // 2 steps x 5 iterations x 2 dots x 16 tasks allreduce spans.
+  EXPECT_EQ(sim.job().channel(apps::kChanAllreduce).all_us.count(),
+            2u * 5u * 2u * 16u);
+  EXPECT_EQ(sim.job().channel(apps::kChanStep).all_us.count(), 2u * 16u);
+  EXPECT_EQ(sim.job().channel(apps::kChanCompute).all_us.count(),
+            2u * 5u * 16u);
+}
+
+TEST(Schedtune, AppliesOptions) {
+  kern::Tunables t;
+  kern::apply_schedtune(t, "-B 25 -S 1 -A 1 -G 1 -R 1 -V 1 -M 1 -t 5000 -i 150");
+  EXPECT_EQ(t.big_tick, 25);
+  EXPECT_TRUE(t.synchronized_ticks);
+  EXPECT_TRUE(t.cluster_aligned_ticks);
+  EXPECT_TRUE(t.daemon_global_queue);
+  EXPECT_TRUE(t.rt_scheduling);
+  EXPECT_TRUE(t.rt_reverse_preemption);
+  EXPECT_TRUE(t.rt_multi_ipi);
+  EXPECT_EQ(t.timeslice.count(), Duration::us(5000).count());
+  EXPECT_EQ(t.ipi_latency.count(), Duration::us(150).count());
+}
+
+TEST(Schedtune, RoundTripsThePresets) {
+  for (const auto& tun :
+       {core::vanilla_kernel(), core::prototype_kernel()}) {
+    kern::Tunables rebuilt;  // defaults
+    kern::apply_schedtune(rebuilt, kern::render_schedtune(tun));
+    EXPECT_EQ(rebuilt.big_tick, tun.big_tick);
+    EXPECT_EQ(rebuilt.synchronized_ticks, tun.synchronized_ticks);
+    EXPECT_EQ(rebuilt.cluster_aligned_ticks, tun.cluster_aligned_ticks);
+    EXPECT_EQ(rebuilt.daemon_global_queue, tun.daemon_global_queue);
+    EXPECT_EQ(rebuilt.rt_scheduling, tun.rt_scheduling);
+    EXPECT_EQ(rebuilt.rt_reverse_preemption, tun.rt_reverse_preemption);
+    EXPECT_EQ(rebuilt.rt_multi_ipi, tun.rt_multi_ipi);
+    EXPECT_EQ(rebuilt.timeslice.count(), tun.timeslice.count());
+    EXPECT_EQ(rebuilt.ipi_latency.count(), tun.ipi_latency.count());
+  }
+}
+
+TEST(Schedtune, PartialUpdateLeavesOthersAlone) {
+  kern::Tunables t;
+  t.rt_scheduling = true;
+  kern::apply_schedtune(t, "-B 10");
+  EXPECT_EQ(t.big_tick, 10);
+  EXPECT_TRUE(t.rt_scheduling);
+}
+
+TEST(Schedtune, RejectsBadInput) {
+  kern::Tunables t;
+  EXPECT_THROW(kern::apply_schedtune(t, "-X 1"), std::logic_error);
+  EXPECT_THROW(kern::apply_schedtune(t, "-B"), std::logic_error);
+  EXPECT_THROW(kern::apply_schedtune(t, "-B abc"), std::logic_error);
+  EXPECT_THROW(kern::apply_schedtune(t, "-B 0"), std::logic_error);
+  EXPECT_THROW(kern::apply_schedtune(t, "-S maybe"), std::logic_error);
+  EXPECT_THROW(kern::apply_schedtune(t, "garbage"), std::logic_error);
+  EXPECT_THROW(kern::apply_schedtune(t, "-t 1"), std::logic_error);
+}

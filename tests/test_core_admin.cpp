@@ -1,0 +1,79 @@
+// /etc/poe.priority parsing and the MP_PRIORITY admission contract (§4).
+#include <gtest/gtest.h>
+
+#include "core/admin.hpp"
+
+using pasched::core::AdminFile;
+using pasched::core::PriorityClass;
+
+namespace {
+constexpr const char* kSample = R"(
+# /etc/poe.priority — root-only writable, identical on each node
+# class:uid:favored:unfavored:period_seconds:duty_percent
+hpc_high:1001:30:100:5:90
+hpc_high:1002:30:100:5:95
+io_heavy:*:41:100:10:90
+gentle:2000:55:80:10.5:70
+)";
+}  // namespace
+
+TEST(AdminFile, ParsesRecordsAndComments) {
+  const AdminFile f = AdminFile::parse(kSample);
+  ASSERT_EQ(f.records().size(), 4u);
+  EXPECT_EQ(f.records()[0].name, "hpc_high");
+  EXPECT_EQ(f.records()[0].uid, 1001);
+  EXPECT_EQ(f.records()[0].favored, 30);
+  EXPECT_EQ(f.records()[0].unfavored, 100);
+  EXPECT_EQ(f.records()[0].period.count(), 5'000'000'000);
+  EXPECT_NEAR(f.records()[0].duty, 0.90, 1e-12);
+  EXPECT_EQ(f.records()[2].uid, -1);  // wildcard user
+  EXPECT_NEAR(f.records()[3].period.to_seconds(), 10.5, 1e-9);
+}
+
+TEST(AdminFile, MatchRequiresClassAndUser) {
+  const AdminFile f = AdminFile::parse(kSample);
+  const auto hit = f.match("hpc_high", 1001);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->duty, 0.90, 1e-12);
+  // Second record for a different user of the same class.
+  const auto hit2 = f.match("hpc_high", 1002);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_NEAR(hit2->duty, 0.95, 1e-12);
+  // Unknown user of a uid-restricted class: no co-scheduling (§4: attention
+  // message, job runs unscheduled).
+  EXPECT_FALSE(f.match("hpc_high", 9999).has_value());
+  // Wildcard class admits anyone.
+  EXPECT_TRUE(f.match("io_heavy", 9999).has_value());
+  EXPECT_FALSE(f.match("nonexistent", 1001).has_value());
+}
+
+TEST(AdminFile, FirstMatchWins) {
+  AdminFile f;
+  PriorityClass a;
+  a.name = "c";
+  a.uid = -1;
+  a.favored = 30;
+  f.add(a);
+  PriorityClass b = a;
+  b.favored = 41;
+  f.add(b);
+  EXPECT_EQ(f.match("c", 1)->favored, 30);
+}
+
+TEST(AdminFile, RejectsMalformedRecords) {
+  EXPECT_THROW(AdminFile::parse("too:few:fields"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:1:30:100:5:90:extra"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse(":1:30:100:5:90"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:x:30:100:5:90"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:1:abc:100:5:90"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:1:300:100:5:90"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:1:30:100:0:90"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:1:30:100:5:150"), std::logic_error);
+  EXPECT_THROW(AdminFile::parse("c:1:30:100:5:-5"), std::logic_error);
+}
+
+TEST(AdminFile, EmptyFileMatchesNothing) {
+  const AdminFile f = AdminFile::parse("\n# only comments\n\n");
+  EXPECT_TRUE(f.records().empty());
+  EXPECT_FALSE(f.match("anything", 0).has_value());
+}

@@ -1,0 +1,103 @@
+// The Simulation facade: end-to-end construction, determinism, horizon
+// behavior, and the co-scheduler wiring.
+#include <gtest/gtest.h>
+
+#include "apps/aggregate_trace.hpp"
+#include "apps/channels.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+
+using namespace pasched;
+using sim::Duration;
+
+namespace {
+
+core::SimulationConfig tiny(bool cosched, std::uint64_t seed = 5) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(2);
+  cfg.cluster.seed = seed;
+  cfg.job.ntasks = 32;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.seed = seed + 1;
+  cfg.use_coscheduler = cosched;
+  cfg.cosched = core::paper_cosched();
+  if (cosched) cfg.cluster.node.tunables = core::prototype_kernel();
+  return cfg;
+}
+
+apps::AggregateTraceConfig tiny_app(int calls = 50) {
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = calls;
+  return at;
+}
+
+}  // namespace
+
+TEST(Simulation, RunsToCompletion) {
+  core::Simulation sim(tiny(false), apps::aggregate_trace(tiny_app()));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.elapsed.count(), 0);
+  EXPECT_GT(r.events, 1000u);
+  EXPECT_FALSE(r.any_node_evicted);
+  EXPECT_EQ(sim.job().channel(apps::kChanAllreduce).recorded_us.size(), 50u);
+  EXPECT_EQ(sim.cosched(), nullptr);
+}
+
+TEST(Simulation, CoschedulerWiredWhenRequested) {
+  core::SimulationConfig cfg = tiny(true);
+  cfg.job.ntasks = 32;
+  apps::AggregateTraceConfig at = tiny_app(50);
+  at.warmup = Duration::sec(6);
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.completed);
+  ASSERT_NE(sim.cosched(), nullptr);
+  EXPECT_EQ(sim.cosched()->total_stats().registered, 32u);
+  EXPECT_GT(sim.cosched()->total_stats().windows, 0u);
+}
+
+TEST(Simulation, SameSeedIsBitIdentical) {
+  auto run = [](std::uint64_t seed) {
+    core::Simulation sim(tiny(false, seed), apps::aggregate_trace(tiny_app()));
+    sim.run();
+    return sim.job().channel(apps::kChanAllreduce).recorded_us;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  auto run = [](std::uint64_t seed) {
+    core::Simulation sim(tiny(false, seed), apps::aggregate_trace(tiny_app()));
+    sim.run();
+    return sim.job().channel(apps::kChanAllreduce).recorded_us;
+  };
+  const auto a = run(1);
+  const auto b = run(2);
+  ASSERT_EQ(a.size(), b.size());
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Simulation, HorizonCapsRunawayJobs) {
+  core::SimulationConfig cfg = tiny(false);
+  cfg.horizon = Duration::ms(50);  // far too short to finish warmup
+  apps::AggregateTraceConfig at = tiny_app(100000);
+  at.warmup = Duration::sec(30);
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+  const auto r = sim.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.elapsed.count(), Duration::ms(50).count());
+}
+
+TEST(Simulation, RunTwiceIsRejected) {
+  core::Simulation sim(tiny(false), apps::aggregate_trace(tiny_app(5)));
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), std::logic_error);
+}

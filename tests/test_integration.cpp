@@ -1,0 +1,171 @@
+// End-to-end integration: the paper's headline relationships must hold on
+// small-but-nontrivial configurations (kept small so the suite stays fast).
+#include <gtest/gtest.h>
+
+#include "apps/aggregate_trace.hpp"
+#include "apps/ale3d_proxy.hpp"
+#include "apps/channels.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+
+using namespace pasched;
+using sim::Duration;
+
+namespace {
+
+struct Outcome {
+  double mean_us;
+  double max_us;
+  double cv;
+};
+
+Outcome run_agg(int nodes, int tpn, bool proto, std::uint64_t seed,
+                int calls = 400) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(nodes);
+  cfg.cluster.seed = seed;
+  cfg.cluster.node.tunables =
+      proto ? core::prototype_kernel() : core::vanilla_kernel();
+  cfg.job.ntasks = nodes * tpn;
+  cfg.job.tasks_per_node = tpn;
+  cfg.job.seed = seed + 7;
+  cfg.use_coscheduler = proto;
+  cfg.cosched = core::paper_cosched();
+  if (proto) cfg.job.mpi.polling_interval = Duration::sec(400);
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = calls;
+  at.warmup = Duration::sec(6);
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.completed);
+  const auto& rec = sim.job().channel(apps::kChanAllreduce).recorded_us;
+  const util::Summary s(rec);
+  return Outcome{s.mean(), s.max(), s.cv()};
+}
+
+}  // namespace
+
+TEST(Integration, PrototypeBeatsVanillaAtScale) {
+  const Outcome vanilla = run_agg(12, 16, false, 101);
+  const Outcome proto = run_agg(12, 16, true, 101);
+  EXPECT_GT(vanilla.mean_us / proto.mean_us, 1.15)
+      << "parallel-aware scheduling must speed up the collective";
+  EXPECT_GT(vanilla.cv / (proto.cv + 1e-9), 2.0)
+      << "and remove the extreme variability";
+  EXPECT_GT(vanilla.max_us / proto.max_us, 2.0);
+}
+
+TEST(Integration, FifteenTasksPerNodeAbsorbsDaemons) {
+  const Outcome full = run_agg(8, 16, false, 202);
+  const Outcome spare = run_agg(8, 15, false, 202);
+  EXPECT_GT(full.mean_us, spare.mean_us)
+      << "leaving a CPU idle must improve vanilla performance";
+  EXPECT_GT(full.max_us, spare.max_us);
+}
+
+TEST(Integration, CollectiveMeanGrowsSuperLogarithmicallyOnVanilla) {
+  const Outcome small = run_agg(4, 16, false, 303);
+  const Outcome large = run_agg(16, 16, false, 303);
+  // Ideal log2 growth from 64 -> 256 tasks is 16/12 ≈ 1.33x; interference
+  // must push it well beyond that.
+  EXPECT_GT(large.mean_us / small.mean_us, 1.5);
+}
+
+TEST(Integration, NaiveCoschedulingHurtsIoBoundApp) {
+  auto run_ale = [](int mode) {
+    core::SimulationConfig cfg;
+    // Cross-node I/O starvation needs enough nodes that some node's tasks
+    // spin in the barrier while another still waits on its remote shards.
+    cfg.cluster = cluster::presets::frost(20);
+    cfg.cluster.seed = 77;
+    cfg.job.ntasks = 320;
+    cfg.job.tasks_per_node = 16;
+    cfg.job.seed = 78;
+    cfg.horizon = Duration::sec(600);
+    apps::Ale3dConfig app;
+    app.timesteps = 30;
+    app.checkpoint_every = 5;  // I/O phases sprinkled through the run
+    if (mode == 0) {  // vanilla
+      cfg.use_coscheduler = false;
+      app.detach_for_io = false;
+    } else if (mode == 1) {  // naive
+      cfg.cluster.node.tunables = core::prototype_kernel();
+      cfg.use_coscheduler = true;
+      cfg.cosched = core::paper_cosched();
+      app.detach_for_io = false;
+    } else {  // tuned
+      cfg.cluster.node.tunables = core::prototype_kernel();
+      cfg.use_coscheduler = true;
+      cfg.cosched = core::io_aware_cosched(40);
+      app.detach_for_io = true;
+    }
+    // A short window so co-scheduling engages within this brief run.
+    cfg.cosched.period = Duration::sec(2);
+    core::Simulation sim(cfg, apps::ale3d_proxy(app));
+    const auto r = sim.run();
+    EXPECT_TRUE(r.completed);
+    return r.elapsed.to_seconds();
+  };
+  const double vanilla = run_ale(0);
+  const double naive = run_ale(1);
+  const double tuned = run_ale(2);
+  EXPECT_GT(naive, vanilla * 1.2) << "naive co-scheduling starves I/O";
+  EXPECT_LT(tuned, naive) << "the tuned priorities fix the regression";
+  EXPECT_LT(tuned, vanilla * 1.1) << "tuned must be at worst ~par with vanilla";
+}
+
+TEST(Integration, UnsyncedClocksDegradeCoscheduling) {
+  auto run_sync = [](bool synced) {
+    core::SimulationConfig cfg;
+    cfg.cluster = cluster::presets::frost(8);
+    cfg.cluster.seed = 55;
+    if (!synced) cfg.cluster.node.max_clock_offset = Duration::sec(8);
+    cfg.cluster.node.tunables = core::prototype_kernel();
+    cfg.cluster.node.tunables.cluster_aligned_ticks = synced;
+    cfg.job.ntasks = 128;
+    cfg.job.tasks_per_node = 16;
+    cfg.job.seed = 56;
+    cfg.use_coscheduler = true;
+    cfg.cosched = core::paper_cosched();
+    cfg.cosched.period = Duration::sec(2);
+    cfg.cosched.sync_clocks = synced;
+    cfg.job.mpi.polling_interval = Duration::sec(400);
+    apps::AggregateTraceConfig at;
+    at.loops = 1;
+    at.calls_per_loop = 1500;
+    at.inter_call_compute = Duration::us(1600);
+    at.warmup = Duration::sec(14);
+    core::Simulation sim(cfg, apps::aggregate_trace(at));
+    const auto r = sim.run();
+    EXPECT_TRUE(r.completed);
+    const auto& rec = sim.job().channel(apps::kChanAllreduce).recorded_us;
+    return util::Summary(rec).percentile(99);
+  };
+  const double synced_p99 = run_sync(true);
+  const double unsynced_p99 = run_sync(false);
+  EXPECT_GT(unsynced_p99, synced_p99)
+      << "without the switch-clock sync, windows drift apart across nodes";
+}
+
+TEST(Integration, HealthyDutyCycleDoesNotEvictNodes) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(2);
+  cfg.cluster.seed = 66;
+  cfg.cluster.node.tunables = core::prototype_kernel();
+  cfg.job.ntasks = 32;
+  cfg.job.tasks_per_node = 16;
+  cfg.use_coscheduler = true;
+  cfg.cosched = core::paper_cosched();  // 90% duty: daemons keep their 10%
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = 2000;
+  at.inter_call_compute = Duration::ms(10);  // ~20 s of runtime
+  at.warmup = Duration::sec(6);
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+  const auto r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.any_node_evicted)
+      << "the paper's settled settings must not starve membership daemons";
+}

@@ -1,0 +1,257 @@
+// Property/fuzz tests of the kernel model: random thread populations with
+// random programs (compute/spin/block), random wakes, kicks and priority
+// changes, across the full tunables matrix. Invariants:
+//   * a thread never occupies two CPUs at once;
+//   * a CPU never has two occupants;
+//   * all issued work is eventually executed and charged (work conservation,
+//     within context-switch/spin slack);
+//   * every thread reaches Done (no lost wakeups, no stuck preemptions);
+//   * class accounting never exceeds wall-clock capacity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+using namespace pasched;
+using namespace pasched::sim::literals;
+using kern::RunDecision;
+using sim::Duration;
+using sim::Engine;
+using sim::Time;
+
+namespace {
+
+/// Random program: a bounded number of decisions drawn from {Compute, Spin,
+/// Block}, then Exit. Tracks how much compute it issued.
+struct FuzzClient final : kern::ThreadClient {
+  FuzzClient(std::uint64_t seed, int decisions) : rng(seed), left(decisions) {}
+
+  RunDecision next(Time) override {
+    if (left-- <= 0) return RunDecision::exit();
+    const double p = rng.next_double();
+    if (p < 0.6) {
+      const Duration d = rng.uniform_dur(Duration::us(20), Duration::ms(3));
+      issued += d;
+      return RunDecision::compute(d);
+    }
+    if (p < 0.8) return RunDecision::spin();   // needs a kick
+    return RunDecision::block();               // needs a wake
+  }
+
+  sim::Rng rng;
+  int left;
+  Duration issued = Duration::zero();
+};
+
+/// Observer asserting occupancy invariants on every transition.
+struct InvariantObserver final : kern::SchedObserver {
+  std::map<const kern::Thread*, kern::CpuId> running;
+  std::map<kern::CpuId, const kern::Thread*> occupant;
+  bool violated = false;
+  std::string why;
+
+  void fail(const std::string& msg) {
+    violated = true;
+    if (why.empty()) why = msg;
+  }
+  void on_dispatch(Time, kern::NodeId, kern::CpuId cpu,
+                   const kern::Thread& t) override {
+    if (running.count(&t) != 0) fail("thread dispatched on two CPUs: " + t.name());
+    const auto it = occupant.find(cpu);
+    if (it != occupant.end() && it->second != nullptr)
+      fail("CPU double-occupied");
+    running[&t] = cpu;
+    occupant[cpu] = &t;
+  }
+  void on_preempt(Time, kern::NodeId, kern::CpuId cpu,
+                  const kern::Thread& t) override {
+    (void)cpu;
+    (void)t;
+  }
+  void on_state(Time, kern::NodeId, const kern::Thread& t,
+                kern::ThreadState s) override {
+    if (s == kern::ThreadState::Running) return;
+    const auto it = running.find(&t);
+    if (it != running.end()) {
+      occupant.erase(it->second);
+      running.erase(it);
+    }
+  }
+  void on_idle(Time, kern::NodeId, kern::CpuId cpu) override {
+    occupant.erase(cpu);
+  }
+};
+
+struct TunablesCase {
+  const char* name;
+  kern::Tunables tun;
+};
+
+std::vector<TunablesCase> tunables_matrix() {
+  std::vector<TunablesCase> out;
+  {
+    kern::Tunables t;
+    out.push_back({"vanilla", t});
+  }
+  {
+    kern::Tunables t;
+    t.rt_scheduling = true;
+    out.push_back({"rt", t});
+  }
+  {
+    kern::Tunables t;
+    t.rt_scheduling = true;
+    t.rt_reverse_preemption = true;
+    t.rt_multi_ipi = true;
+    out.push_back({"rt_full", t});
+  }
+  {
+    kern::Tunables t;
+    t.big_tick = 25;
+    t.synchronized_ticks = true;
+    t.cluster_aligned_ticks = true;
+    out.push_back({"bigtick_sync", t});
+  }
+  {
+    kern::Tunables t;
+    t.big_tick = 25;
+    t.synchronized_ticks = true;
+    t.cluster_aligned_ticks = true;
+    t.rt_scheduling = true;
+    t.rt_reverse_preemption = true;
+    t.rt_multi_ipi = true;
+    t.daemon_global_queue = true;
+    out.push_back({"prototype", t});
+  }
+  return out;
+}
+
+}  // namespace
+
+class KernFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST_P(KernFuzz, RandomWorkloadKeepsInvariants) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& [name, tun] : tunables_matrix()) {
+    Engine e;
+    const int ncpus = 4;
+    kern::Kernel k(e, 0, ncpus, tun, Duration::zero(), seed);
+    InvariantObserver obs;
+    k.set_observer(&obs);
+    sim::Rng rng(seed * 7919);
+
+    const int nthreads = 12;
+    std::vector<std::unique_ptr<FuzzClient>> clients;
+    std::vector<kern::Thread*> threads;
+    for (int i = 0; i < nthreads; ++i) {
+      clients.push_back(std::make_unique<FuzzClient>(
+          seed * 1000 + static_cast<std::uint64_t>(i), 25));
+      kern::ThreadSpec ts;
+      ts.name = "fuzz" + std::to_string(i);
+      ts.cls = (i % 3 == 0) ? kern::ThreadClass::Daemon
+                            : kern::ThreadClass::AppTask;
+      ts.base_priority = static_cast<kern::Priority>(30 + (i * 7) % 70);
+      ts.fixed_priority = (i % 2 == 0);
+      ts.home_cpu = (i % 4 == 3) ? kern::kNoCpu : i % ncpus;
+      ts.stealable = (i % 5 != 0);
+      threads.push_back(&k.create_thread(ts, *clients.back()));
+    }
+    k.start();
+
+    // Driver: every 200 us, randomly wake blocked threads, kick (harmless if
+    // not spinning), and jiggle priorities.
+    std::function<void()> driver = [&] {
+      for (kern::Thread* t : threads) {
+        if (t->state() == kern::ThreadState::Blocked && rng.bernoulli(0.5))
+          k.wake(*t, kern::kExternalActor);
+        if (rng.bernoulli(0.3)) k.kick(*t);
+        if (rng.bernoulli(0.1) && t->state() != kern::ThreadState::Done) {
+          k.set_priority(*t,
+                         static_cast<kern::Priority>(
+                             20 + rng.uniform_int(0, 80)),
+                         rng.bernoulli(0.5), kern::kExternalActor);
+        }
+      }
+      bool all_done = true;
+      for (kern::Thread* t : threads)
+        if (t->state() != kern::ThreadState::Done) all_done = false;
+      if (!all_done) e.schedule_after(200_us, [&] { driver(); });
+    };
+    e.schedule_after(200_us, [&] { driver(); });
+
+    // Kick off everyone.
+    for (kern::Thread* t : threads) k.wake(*t, kern::kExternalActor);
+    e.run_until(Time::zero() + Duration::sec(30));
+
+    EXPECT_FALSE(obs.violated) << "[" << name << "] " << obs.why;
+    Duration total_charged = Duration::zero();
+    for (int i = 0; i < nthreads; ++i) {
+      EXPECT_EQ(threads[static_cast<std::size_t>(i)]->state(),
+                kern::ThreadState::Done)
+          << "[" << name << "] thread " << i << " never finished (lost wake?)";
+      // Work conservation: everything issued was executed; charge includes
+      // spin time and context switches, so charged >= issued.
+      EXPECT_GE(threads[static_cast<std::size_t>(i)]->total_cpu().count(),
+                clients[static_cast<std::size_t>(i)]->issued.count())
+          << "[" << name << "] thread " << i;
+      total_charged += threads[static_cast<std::size_t>(i)]->total_cpu();
+    }
+    // Capacity: charged CPU cannot exceed elapsed * ncpus.
+    const Duration capacity =
+        (e.now() - Time::zero()) * static_cast<std::int64_t>(ncpus);
+    EXPECT_LE(total_charged.count(), capacity.count()) << "[" << name << "]";
+  }
+}
+
+class KernFuzzContended : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernFuzzContended, ::testing::Values(2u, 9u, 77u));
+
+TEST_P(KernFuzzContended, OversubscribedSingleCpuStillDrainsEverything) {
+  // 10 threads on 1 CPU with priority churn: everything must still finish
+  // and the CPU can never be double-booked.
+  const std::uint64_t seed = GetParam();
+  Engine e;
+  kern::Tunables tun;
+  tun.rt_scheduling = true;
+  kern::Kernel k(e, 0, 1, tun, Duration::zero(), seed);
+  InvariantObserver obs;
+  k.set_observer(&obs);
+  sim::Rng rng(seed);
+
+  std::vector<std::unique_ptr<FuzzClient>> clients;
+  std::vector<kern::Thread*> threads;
+  for (int i = 0; i < 10; ++i) {
+    clients.push_back(std::make_unique<FuzzClient>(seed + static_cast<std::uint64_t>(i), 15));
+    kern::ThreadSpec ts;
+    ts.name = "c" + std::to_string(i);
+    ts.base_priority = static_cast<kern::Priority>(40 + i);
+    ts.fixed_priority = true;
+    ts.home_cpu = 0;
+    threads.push_back(&k.create_thread(ts, *clients.back()));
+  }
+  k.start();
+  std::function<void()> driver = [&] {
+    bool all_done = true;
+    for (kern::Thread* t : threads) {
+      if (t->state() == kern::ThreadState::Blocked) k.wake(*t);
+      k.kick(*t);
+      if (t->state() != kern::ThreadState::Done) all_done = false;
+    }
+    if (!all_done) e.schedule_after(500_us, [&] { driver(); });
+  };
+  e.schedule_after(500_us, [&] { driver(); });
+  for (kern::Thread* t : threads) k.wake(*t);
+  e.run_until(Time::zero() + Duration::sec(60));
+  EXPECT_FALSE(obs.violated) << obs.why;
+  for (kern::Thread* t : threads)
+    EXPECT_EQ(t->state(), kern::ThreadState::Done) << t->name();
+}

@@ -1,0 +1,292 @@
+// Collective schedules are expanded per rank into Send/Recv micro-ops. These
+// tests verify the *global* properties that make a schedule deadlock-free
+// and correct, without running the simulator:
+//   * every Recv has exactly one matching Send (same peer pair and tag);
+//   * the induced dependency graph is acyclic (a valid execution order
+//     exists given sequential per-rank execution and spin-waiting receives);
+//   * reductions actually gather every rank's contribution at the root, and
+//     broadcasts reach every rank (data-flow check);
+//   * step counts respect the paper's 2*log2(N) bound for the tree
+//     allreduce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/microop.hpp"
+
+using pasched::mpi::AllreduceAlg;
+using pasched::mpi::MicroOp;
+
+namespace {
+
+using Schedule = std::vector<std::vector<MicroOp>>;  // [rank] -> ops
+
+Schedule expand(int size, const std::function<void(std::vector<MicroOp>&, int)>& gen) {
+  Schedule s(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) gen(s[static_cast<std::size_t>(r)], r);
+  return s;
+}
+
+/// Simulates sequential execution with spin-waiting receives: repeatedly run
+/// each rank until it blocks on a Recv whose message has not been sent yet.
+/// Returns true if every rank finishes (no deadlock, all messages matched).
+/// `carry` optionally tracks data-flow: each message carries the union of
+/// contribution sets; Recv merges into the receiver's set.
+bool executes_to_completion(const Schedule& s,
+                            std::vector<std::set<int>>* carry = nullptr) {
+  const int n = static_cast<int>(s.size());
+  std::vector<std::size_t> pc(static_cast<std::size_t>(n), 0);
+  // (src, dst, tag) -> queue of payloads
+  std::map<std::tuple<int, int, std::uint64_t>, std::queue<std::set<int>>> net;
+  std::vector<std::set<int>> data(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) data[static_cast<std::size_t>(r)].insert(r);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < n; ++r) {
+      auto& my_pc = pc[static_cast<std::size_t>(r)];
+      const auto& ops = s[static_cast<std::size_t>(r)];
+      while (my_pc < ops.size()) {
+        const MicroOp& op = ops[my_pc];
+        if (op.kind == MicroOp::Kind::Send) {
+          net[{r, op.peer, op.tag}].push(data[static_cast<std::size_t>(r)]);
+          ++my_pc;
+          progress = true;
+        } else if (op.kind == MicroOp::Kind::Recv) {
+          auto it = net.find({op.peer, r, op.tag});
+          if (it == net.end() || it->second.empty()) break;  // spin-wait
+          for (int v : it->second.front())
+            data[static_cast<std::size_t>(r)].insert(v);
+          it->second.pop();
+          ++my_pc;
+          progress = true;
+        } else {
+          ++my_pc;  // compute / markers are local
+          progress = true;
+        }
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r)
+    if (pc[static_cast<std::size_t>(r)] != s[static_cast<std::size_t>(r)].size())
+      return false;
+  // No unconsumed messages allowed (every send matched by a recv).
+  for (const auto& [key, q] : net)
+    if (!q.empty()) return false;
+  if (carry != nullptr) *carry = data;
+  return true;
+}
+
+int count_p2p(const Schedule& s) {
+  int sends = 0;
+  for (const auto& ops : s)
+    for (const auto& op : ops)
+      if (op.kind == MicroOp::Kind::Send) ++sends;
+  return sends;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parameterized over communicator sizes (powers of two, odd sizes, primes).
+// ---------------------------------------------------------------------------
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 24, 31,
+                                           32, 59, 64, 100, 128, 255, 256,
+                                           944));
+
+TEST_P(CollectiveSizes, ReduceGathersAllContributionsAtRoot) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_reduce(out, r, n, 0, 8, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  EXPECT_EQ(data[0].size(), static_cast<std::size_t>(n))
+      << "root must see every rank's contribution";
+}
+
+TEST_P(CollectiveSizes, ReduceWithNonZeroRoot) {
+  const int n = GetParam();
+  const int root = (n > 1) ? n / 2 : 0;
+  auto s = expand(n, [n, root](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_reduce(out, r, n, root, 8, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  EXPECT_EQ(data[static_cast<std::size_t>(root)].size(),
+            static_cast<std::size_t>(n));
+}
+
+TEST_P(CollectiveSizes, BcastReachesEveryRank) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_bcast(out, r, n, 0, 8, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  for (int r = 0; r < n; ++r)
+    EXPECT_TRUE(data[static_cast<std::size_t>(r)].count(0))
+        << "rank " << r << " missing the root's data";
+}
+
+TEST_P(CollectiveSizes, TreeAllreduceIsCorrectAndBounded) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_allreduce(out, r, n, 8, 0,
+                                   AllreduceAlg::BinomialTree);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(data[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(n))
+        << "rank " << r << " must end with the full reduction";
+  // "The standard tree algorithm ... does no more than 2*log2(N) separate
+  // point to point communications" — per rank on the critical path; total
+  // sends are bounded by 2*(N-1).
+  EXPECT_LE(count_p2p(s), 2 * (n - 1) + 2);
+}
+
+TEST_P(CollectiveSizes, RecursiveDoublingAllreduceIsCorrect) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_allreduce(out, r, n, 8, 0,
+                                   AllreduceAlg::RecursiveDoubling);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(data[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(n));
+}
+
+TEST_P(CollectiveSizes, BarrierCompletesWithoutDeadlock) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_barrier(out, r, n, 0);
+  });
+  EXPECT_TRUE(executes_to_completion(s));
+}
+
+TEST_P(CollectiveSizes, AllgatherRingDistributesEverything) {
+  const int n = GetParam();
+  if (n > 128) GTEST_SKIP() << "ring is O(N^2) messages; bounded here";
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_allgather_ring(out, r, n, 64, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(data[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(n));
+}
+
+TEST_P(CollectiveSizes, AllgatherBruckDistributesEverythingInLogRounds) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_allgather_bruck(out, r, n, 64, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(data[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(n));
+  // log-round structure: each rank sends ceil(log2 N) messages.
+  if (n > 1) {
+    int rounds = 0;
+    while ((1 << rounds) < n) ++rounds;
+    EXPECT_EQ(count_p2p(s), n * rounds);
+  }
+}
+
+TEST_P(CollectiveSizes, AlltoallPairwiseMatches) {
+  const int n = GetParam();
+  if (n > 128) GTEST_SKIP() << "O(N^2) messages; bounded here";
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_alltoall_pairwise(out, r, n, 256, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(data[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(n))
+        << "alltoall must deliver a block from every rank";
+  EXPECT_EQ(count_p2p(s), n * (n - 1));
+}
+
+TEST_P(CollectiveSizes, HaloExchangeMatches) {
+  const int n = GetParam();
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_halo_exchange(out, r, n, 1024, 0);
+  });
+  std::vector<std::set<int>> data;
+  ASSERT_TRUE(executes_to_completion(s, &data));
+  if (n > 1) {
+    for (int r = 0; r < n; ++r) {
+      EXPECT_TRUE(data[static_cast<std::size_t>(r)].count((r + 1) % n));
+      EXPECT_TRUE(data[static_cast<std::size_t>(r)].count((r - 1 + n) % n));
+    }
+  }
+}
+
+TEST_P(CollectiveSizes, BackToBackCollectivesDoNotAliasTags) {
+  const int n = GetParam();
+  if (n > 256) GTEST_SKIP() << "kept small; tag logic is size-independent";
+  // Three consecutive collectives with distinct tag bases, interleaved in
+  // each rank's program — exactly how aggregate_trace emits them.
+  auto s = expand(n, [n](std::vector<MicroOp>& out, int r) {
+    pasched::mpi::append_barrier(out, r, n, 0 * pasched::mpi::kTagStride);
+    pasched::mpi::append_allreduce(out, r, n, 8, 1 * pasched::mpi::kTagStride,
+                                   AllreduceAlg::BinomialTree);
+    pasched::mpi::append_allreduce(out, r, n, 8, 2 * pasched::mpi::kTagStride,
+                                   AllreduceAlg::RecursiveDoubling);
+  });
+  EXPECT_TRUE(executes_to_completion(s));
+}
+
+TEST(Collectives, StepsBoundMatchesPaperFormula) {
+  EXPECT_EQ(pasched::mpi::tree_allreduce_steps(2), 2);
+  EXPECT_EQ(pasched::mpi::tree_allreduce_steps(16), 8);
+  EXPECT_EQ(pasched::mpi::tree_allreduce_steps(944), 20);  // ceil(log2)=10
+  EXPECT_EQ(pasched::mpi::tree_allreduce_steps(1024), 20);
+}
+
+TEST(Collectives, IdealModelScalesLogarithmically) {
+  pasched::mpi::MpiConfig cfg;
+  const auto t256 = pasched::mpi::ideal_allreduce(
+      256, cfg, pasched::sim::Duration::us(20), pasched::sim::Duration::ns(2),
+      8);
+  const auto t1024 = pasched::mpi::ideal_allreduce(
+      1024, cfg, pasched::sim::Duration::us(20), pasched::sim::Duration::ns(2),
+      8);
+  // 16 vs 20 steps: logarithmic, not linear.
+  EXPECT_NEAR(static_cast<double>(t1024.count()) /
+                  static_cast<double>(t256.count()),
+              20.0 / 16.0, 1e-9);
+}
+
+TEST(Collectives, SingleRankSchedulesAreEmpty) {
+  std::vector<MicroOp> out;
+  pasched::mpi::append_allreduce(out, 0, 1, 8, 0, AllreduceAlg::BinomialTree);
+  pasched::mpi::append_barrier(out, 0, 1, 0);
+  pasched::mpi::append_halo_exchange(out, 0, 1, 8, 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Collectives, InvalidRankRejected) {
+  std::vector<MicroOp> out;
+  EXPECT_THROW(
+      pasched::mpi::append_reduce(out, 5, 4, 0, 8, 0), std::logic_error);
+  EXPECT_THROW(pasched::mpi::append_bcast(out, 0, 4, 9, 8, 0),
+               std::logic_error);
+}

@@ -1,0 +1,418 @@
+// The message-passing runtime executed on the simulator: job placement,
+// p2p semantics, barrier/allreduce timing semantics, spin-vs-block behavior,
+// the progress-engine aux threads, distributed I/O, and the scheduler hook
+// protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/job.hpp"
+#include "sim/engine.hpp"
+
+using namespace pasched;
+using namespace pasched::sim::literals;
+using sim::Duration;
+using sim::Engine;
+using sim::Time;
+
+namespace {
+
+/// Workload built from a fixed op list (single refill).
+class FixedOps final : public mpi::Workload {
+ public:
+  explicit FixedOps(std::vector<mpi::MicroOp> ops) : ops_(std::move(ops)) {}
+  bool refill(const mpi::TaskInfo&, std::vector<mpi::MicroOp>& out) override {
+    if (done_ || ops_.empty()) return false;
+    done_ = true;
+    out = ops_;
+    return true;
+  }
+
+ private:
+  std::vector<mpi::MicroOp> ops_;
+  bool done_ = false;
+};
+
+cluster::ClusterConfig sterile(int nodes) {
+  cluster::ClusterConfig cfg = cluster::presets::frost(nodes);
+  cfg.node.install_daemons = false;
+  cfg.node.max_clock_offset = Duration::zero();
+  cfg.fabric.jitter_frac = 0.0;
+  cfg.seed = 1;
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(int nodes) : cluster(engine, sterile(nodes)) {}
+  Engine engine;
+  cluster::Cluster cluster;
+};
+
+mpi::JobConfig job_cfg(int ntasks, int tpn) {
+  mpi::JobConfig jc;
+  jc.ntasks = ntasks;
+  jc.tasks_per_node = tpn;
+  jc.mpi.progress_engine = false;  // most tests want determinism
+  return jc;
+}
+
+}  // namespace
+
+TEST(MpiJob, PlacementIsBlockwise) {
+  Rig rig(3);
+  auto factory = [](int, int) {
+    return std::make_unique<FixedOps>(std::vector<mpi::MicroOp>{});
+  };
+  mpi::Job job(rig.cluster, job_cfg(40, 16), factory);
+  EXPECT_EQ(job.task(0).node().id(), 0);
+  EXPECT_EQ(job.task(15).node().id(), 0);
+  EXPECT_EQ(job.task(16).node().id(), 1);
+  EXPECT_EQ(job.task(39).node().id(), 2);
+  EXPECT_EQ(job.task(17).thread().home_cpu(), 1);
+}
+
+TEST(MpiJob, RejectsOverflowingPlacement) {
+  Rig rig(2);
+  auto factory = [](int, int) {
+    return std::make_unique<FixedOps>(std::vector<mpi::MicroOp>{});
+  };
+  EXPECT_THROW(mpi::Job(rig.cluster, job_cfg(33, 16), factory),
+               std::logic_error);
+  EXPECT_THROW(mpi::Job(rig.cluster, job_cfg(2, 17), factory),
+               std::logic_error);
+}
+
+TEST(MpiJob, PingPongAcrossNodes) {
+  Rig rig(2);
+  auto factory = [](int rank, int) {
+    std::vector<mpi::MicroOp> ops;
+    if (rank == 0) {
+      ops.push_back(mpi::MicroOp::mark_begin(0, 0));
+      ops.push_back(mpi::MicroOp::send(1, 7, 8));
+      ops.push_back(mpi::MicroOp::recv(1, 8));
+      ops.push_back(mpi::MicroOp::mark_end(0, 0));
+    } else {
+      ops.push_back(mpi::MicroOp::recv(0, 7));
+      ops.push_back(mpi::MicroOp::send(0, 8, 8));
+    }
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(2, 1);
+  mpi::Job job(rig.cluster, jc, factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job.complete());
+  const auto& ch = job.channel(0);
+  ASSERT_EQ(ch.recorded_us.size(), 1u);
+  // RTT: 2 * (o_send 6us + wire 20us + bytes + o_recv 6us) plus scheduling.
+  EXPECT_GT(ch.recorded_us[0], 50.0);
+  EXPECT_LT(ch.recorded_us[0], 150.0);
+}
+
+TEST(MpiJob, BarrierHoldsEveryoneUntilLastArrives) {
+  // Rank 2 computes 5 ms before the barrier; no rank's barrier-exit happens
+  // before rank 2 even starts it.
+  Rig rig(1);
+  auto factory = [](int rank, int size) {
+    std::vector<mpi::MicroOp> ops;
+    if (rank == 2) ops.push_back(mpi::MicroOp::compute(5_ms));
+    ops.push_back(mpi::MicroOp::mark_begin(1, 0));
+    mpi::append_barrier(ops, rank, size, 0);
+    ops.push_back(mpi::MicroOp::mark_end(1, 0));
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::Job job(rig.cluster, job_cfg(4, 4), factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job.complete());
+  // Every task's barrier span ends after 5 ms (rank 2's compute).
+  EXPECT_GE(job.completion_time().count(), Duration::ms(5).count());
+  // Ranks 0,1,3 spent ~5 ms inside the barrier (they spin-wait).
+  EXPECT_GT(job.channel(1).all_us.max(), 4500.0);
+}
+
+TEST(MpiJob, AllreduceTimeScalesWithLog) {
+  auto mean_for = [](int ntasks, int tpn, int nodes) {
+    Rig rig(nodes);
+    auto factory = [ntasks](int rank, int size) {
+      std::vector<mpi::MicroOp> ops;
+      mpi::append_barrier(ops, rank, size, 0);
+      ops.push_back(mpi::MicroOp::mark_begin(0, 0));
+      mpi::append_allreduce(ops, rank, size, 8, mpi::kTagStride,
+                            mpi::AllreduceAlg::BinomialTree);
+      ops.push_back(mpi::MicroOp::mark_end(0, 0));
+      (void)ntasks;
+      return std::make_unique<FixedOps>(std::move(ops));
+    };
+    mpi::Job job(rig.cluster, job_cfg(ntasks, tpn), factory);
+    rig.cluster.start();
+    job.launch();
+    rig.engine.run_until(Time::zero() + 1_s);
+    EXPECT_TRUE(job.complete());
+    return job.channel(0).all_us.mean();
+  };
+  const double t64 = mean_for(64, 16, 4);
+  const double t256 = mean_for(256, 16, 16);
+  // On a sterile cluster the growth must be logarithmic-ish (ratio well
+  // under the 4x a linear model would give).
+  EXPECT_GT(t256, t64);
+  EXPECT_LT(t256 / t64, 2.0);
+}
+
+TEST(MpiJob, SpinWaitConsumesCpuBlockingIoDoesNot) {
+  // This test needs an I/O service, so build a node *with* daemons.
+  Engine engine;
+  cluster::ClusterConfig cfg = cluster::presets::frost(1);
+  cfg.node.max_clock_offset = Duration::zero();
+  cfg.fabric.jitter_frac = 0.0;
+  cluster::Cluster cl(engine, cfg);
+  auto factory = [](int rank, int) {
+    std::vector<mpi::MicroOp> ops;
+    if (rank == 0) ops.push_back(mpi::MicroOp::io(1024));
+    ops.push_back(mpi::MicroOp::compute(1_ms));
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(2, 2);
+  jc.io_remote_shards = 0;
+  mpi::Job job(cl, jc, factory);
+  cl.start();
+  job.launch();
+  engine.run_until(Time::zero() + 5_s);
+  ASSERT_TRUE(job.complete());
+  // Task 0 blocked during I/O: its CPU time is ~1 ms of compute only.
+  EXPECT_LT(job.task(0).thread().total_cpu().to_ms(), 2.0);
+}
+
+TEST(MpiJob, DistributedIoFansOutToPeerDaemons) {
+  Engine engine;
+  cluster::ClusterConfig cfg = cluster::presets::frost(3);
+  cfg.node.max_clock_offset = Duration::zero();
+  cluster::Cluster cl(engine, cfg);
+  auto factory = [](int rank, int) {
+    std::vector<mpi::MicroOp> ops;
+    if (rank == 0) ops.push_back(mpi::MicroOp::io(3 * 1024 * 1024));
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(3, 1);
+  jc.io_remote_shards = 2;
+  mpi::Job job(cl, jc, factory);
+  cl.start();
+  job.launch();
+  engine.run_until(Time::zero() + 20_s);
+  ASSERT_TRUE(job.complete());
+  // All three nodes' mmfsd saw roughly a third of the bytes.
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_GE(cl.node(n).io_service()->stats().requests, 1u)
+        << "node " << n << " should have served a shard";
+  }
+}
+
+TEST(MpiJob, AuxThreadsPollAndConsumeCpu) {
+  Rig rig(1);
+  auto factory = [](int, int) {
+    std::vector<mpi::MicroOp> ops;
+    ops.push_back(mpi::MicroOp::compute(Duration::sec(2)));
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(2, 2);
+  jc.mpi.progress_engine = true;
+  jc.mpi.polling_interval = 200_ms;
+  mpi::Job job(rig.cluster, jc, factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 5_s);
+  ASSERT_TRUE(job.complete());
+  EXPECT_GT(job.aux_cpu_total().count(), 0);
+  // ~2 s of runtime at a 200 ms polling interval: several polls per task,
+  // each 100-200 us.
+  EXPECT_GT(job.aux_cpu_total().to_us(), 2 * 5 * 100.0 * 0.5);
+}
+
+TEST(MpiJob, PollingIntervalBeyondRuntimeMeansNoAuxCpu) {
+  Rig rig(1);
+  auto factory = [](int, int) {
+    std::vector<mpi::MicroOp> ops;
+    ops.push_back(mpi::MicroOp::compute(500_ms));
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(2, 2);
+  jc.mpi.progress_engine = true;
+  jc.mpi.polling_interval = Duration::sec(400);  // MP_POLLING_INTERVAL fix
+  mpi::Job job(rig.cluster, jc, factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 5_s);
+  ASSERT_TRUE(job.complete());
+  EXPECT_EQ(job.aux_cpu_total().count(), 0);
+}
+
+namespace {
+
+/// Records the control-pipe protocol traffic.
+struct RecordingHook final : mpi::SchedulerHook {
+  std::vector<std::pair<int, const kern::Thread*>> registered;
+  std::vector<const kern::Thread*> detached, attached;
+  int ended = 0;
+  void register_task(kern::NodeId node, kern::Thread& t) override {
+    registered.emplace_back(node, &t);
+  }
+  void detach_task(kern::NodeId, kern::Thread& t) override {
+    detached.push_back(&t);
+  }
+  void attach_task(kern::NodeId, kern::Thread& t) override {
+    attached.push_back(&t);
+  }
+  void job_ended() override { ++ended; }
+};
+
+}  // namespace
+
+TEST(MpiJob, HookProtocolFollowsThePaper) {
+  Rig rig(2);
+  auto factory = [](int, int) {
+    std::vector<mpi::MicroOp> ops;
+    ops.push_back(mpi::MicroOp::detach());
+    ops.push_back(mpi::MicroOp::compute(1_ms));
+    ops.push_back(mpi::MicroOp::attach());
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::Job job(rig.cluster, job_cfg(4, 2), factory);
+  RecordingHook hook;
+  job.set_hook(&hook);
+  rig.cluster.start();
+  job.launch();
+  // Registration happens at launch (MPI_Init), before any compute.
+  EXPECT_EQ(hook.registered.size(), 4u);
+  EXPECT_EQ(hook.registered[0].first, 0);
+  EXPECT_EQ(hook.registered[3].first, 1);
+  rig.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job.complete());
+  EXPECT_EQ(hook.detached.size(), 4u);
+  EXPECT_EQ(hook.attached.size(), 4u);
+  EXPECT_EQ(hook.ended, 1);
+}
+
+TEST(MpiJob, RecordedRankSpansInSequenceOrder) {
+  Rig rig(1);
+  auto factory = [](int, int) {
+    std::vector<mpi::MicroOp> ops;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      ops.push_back(mpi::MicroOp::mark_begin(0, i));
+      ops.push_back(mpi::MicroOp::compute(Duration::us(100 * (i + 1))));
+      ops.push_back(mpi::MicroOp::mark_end(0, i));
+    }
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::Job job(rig.cluster, job_cfg(1, 1), factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job.complete());
+  const auto& ch = job.channel(0);
+  ASSERT_EQ(ch.recorded_us.size(), 5u);
+  ASSERT_EQ(ch.recorded_begin.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(ch.recorded_us[i], ch.recorded_us[i - 1]);
+    EXPECT_GT(ch.recorded_begin[i].count(), ch.recorded_begin[i - 1].count());
+  }
+  EXPECT_EQ(job.channel(0).all_us.count(), 5u);
+}
+
+TEST(MpiJob, SpinBlockReceiverYieldsCpuWhileWaiting) {
+  Rig rig(1);
+  auto factory = [](int rank, int) {
+    std::vector<mpi::MicroOp> ops;
+    if (rank == 0) {
+      ops.push_back(mpi::MicroOp::recv(1, 9));  // waits ~50 ms for rank 1
+    } else {
+      ops.push_back(mpi::MicroOp::compute(50_ms));
+      ops.push_back(mpi::MicroOp::send(0, 9, 8));
+    }
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(2, 2);
+  jc.mpi.recv_wait = mpi::RecvWait::SpinBlock;
+  jc.mpi.spin_threshold = Duration::us(100);
+  mpi::Job job(rig.cluster, jc, factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job.complete());
+  // Rank 0 burned only the spin threshold + o_recv + wakeup, not 50 ms.
+  EXPECT_LT(job.task(0).thread().total_cpu().to_us(), 500.0);
+  // With pure spinning the same wait costs the whole 50 ms of CPU.
+  Rig rig2(1);
+  mpi::JobConfig jc2 = job_cfg(2, 2);
+  jc2.mpi.recv_wait = mpi::RecvWait::Spin;
+  mpi::Job job2(rig2.cluster, jc2, factory);
+  rig2.cluster.start();
+  job2.launch();
+  rig2.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job2.complete());
+  EXPECT_GT(job2.task(0).thread().total_cpu().to_ms(), 40.0);
+}
+
+TEST(MpiJob, SpinBlockWithZeroThresholdBlocksImmediately) {
+  Rig rig(1);
+  auto factory = [](int rank, int) {
+    std::vector<mpi::MicroOp> ops;
+    if (rank == 0) {
+      ops.push_back(mpi::MicroOp::recv(1, 3));
+    } else {
+      ops.push_back(mpi::MicroOp::compute(10_ms));
+      ops.push_back(mpi::MicroOp::send(0, 3, 8));
+    }
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(2, 2);
+  jc.mpi.recv_wait = mpi::RecvWait::SpinBlock;
+  jc.mpi.spin_threshold = Duration::zero();
+  mpi::Job job(rig.cluster, jc, factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 1_s);
+  ASSERT_TRUE(job.complete());
+  EXPECT_LT(job.task(0).thread().total_cpu().to_us(), 100.0);
+}
+
+TEST(MpiJob, SpinBlockCollectivesStillCorrect) {
+  Rig rig(2);
+  auto factory = [](int rank, int size) {
+    std::vector<mpi::MicroOp> ops;
+    ops.push_back(mpi::MicroOp::mark_begin(0, 0));
+    mpi::append_allreduce(ops, rank, size, 8, 0,
+                          mpi::AllreduceAlg::BinomialTree);
+    ops.push_back(mpi::MicroOp::mark_end(0, 0));
+    mpi::append_barrier(ops, rank, size, mpi::kTagStride);
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::JobConfig jc = job_cfg(32, 16);
+  jc.mpi.recv_wait = mpi::RecvWait::SpinBlock;
+  jc.mpi.spin_threshold = Duration::us(20);
+  mpi::Job job(rig.cluster, jc, factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run_until(Time::zero() + 5_s);
+  EXPECT_TRUE(job.complete());
+  EXPECT_EQ(job.channel(0).all_us.count(), 32u);
+}
+
+TEST(MpiJob, EngineStopsOnCompletionByDefault) {
+  Rig rig(1);
+  auto factory = [](int, int) {
+    std::vector<mpi::MicroOp> ops;
+    ops.push_back(mpi::MicroOp::compute(1_ms));
+    return std::make_unique<FixedOps>(std::move(ops));
+  };
+  mpi::Job job(rig.cluster, job_cfg(2, 2), factory);
+  rig.cluster.start();
+  job.launch();
+  rig.engine.run();  // would never return if completion didn't stop it
+  EXPECT_TRUE(job.complete());
+  EXPECT_GT(job.elapsed().count(), 0);
+}

@@ -1,0 +1,95 @@
+// Config reader and command-line flags.
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+#include "util/flags.hpp"
+
+using pasched::util::Config;
+using pasched::util::Flags;
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const Config c = Config::parse(R"(
+# comment
+top_key = 1
+[cluster]
+nodes = 59
+cpus  = 16
+; another comment style
+[cosched]
+duty = 0.9
+enabled = true
+name = paper defaults
+)");
+  EXPECT_EQ(c.get_int("", "top_key", 0), 1);
+  EXPECT_EQ(c.get_int("cluster", "nodes", 0), 59);
+  EXPECT_EQ(c.get_int("cluster", "cpus", 0), 16);
+  EXPECT_NEAR(c.get_double("cosched", "duty", 0), 0.9, 1e-12);
+  EXPECT_TRUE(c.get_bool("cosched", "enabled", false));
+  EXPECT_EQ(c.get_or("cosched", "name", ""), "paper defaults");
+  EXPECT_FALSE(c.has("cluster", "missing"));
+  EXPECT_EQ(c.get_int("cluster", "missing", 42), 42);
+  EXPECT_EQ(c.sections().size(), 3u);  // "", cluster, cosched
+  EXPECT_EQ(c.keys("cluster").size(), 2u);
+}
+
+TEST(Config, SetOverridesAndCreates) {
+  Config c;
+  c.set("a", "k", "v");
+  EXPECT_EQ(c.get_or("a", "k", ""), "v");
+  c.set("a", "k", "w");
+  EXPECT_EQ(c.get_or("a", "k", ""), "w");
+}
+
+TEST(Config, RejectsMalformedInput) {
+  EXPECT_THROW(Config::parse("[unterminated"), std::logic_error);
+  EXPECT_THROW(Config::parse("no equals sign here"), std::logic_error);
+  EXPECT_THROW(Config::parse("= value with empty key"), std::logic_error);
+  const Config c = Config::parse("[s]\nk = not_a_number");
+  EXPECT_THROW((void)c.get_int("s", "k", 0), std::logic_error);
+  EXPECT_THROW((void)c.get_bool("s", "k", false), std::logic_error);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/path/zzz.ini"), std::logic_error);
+}
+
+namespace {
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  for (const char* a : args) argv.push_back(a);
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+}  // namespace
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const Flags f = make_flags({"--nodes=59", "--calls", "1000", "--verbose"});
+  EXPECT_EQ(f.get_int("nodes", 0), 59);
+  EXPECT_EQ(f.get_int("calls", 0), 1000);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+}
+
+TEST(Flags, PositionalArgumentsPreserved) {
+  const Flags f = make_flags({"input.txt", "--x=1", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const Flags f = make_flags({"--n=abc"});
+  EXPECT_THROW((void)f.get_int("n", 0), std::logic_error);
+  EXPECT_THROW((void)f.get_bool("n", false), std::logic_error);
+}
+
+TEST(Flags, UnknownDetection) {
+  const Flags f = make_flags({"--known=1", "--typo=2"});
+  const auto unknown = f.unknown({"known"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, DoubleValues) {
+  const Flags f = make_flags({"--duty=0.95"});
+  EXPECT_NEAR(f.get_double("duty", 0), 0.95, 1e-12);
+}

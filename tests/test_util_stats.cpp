@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace pu = pasched::util;
+
+TEST(Accumulator, Empty) {
+  pu::Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  pu::Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  pu::Accumulator a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i < 37 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(a.min(), all.min(), 0.0);
+  EXPECT_NEAR(a.max(), all.max(), 0.0);
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  pu::Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  pu::Accumulator c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Summary, PercentilesAndMedian) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  pu::Summary s(xs);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.total(), 5050.0);
+}
+
+TEST(Summary, SingleSample) {
+  std::vector<double> xs{42.0};
+  pu::Summary s(xs);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto fit = pu::fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.7 * i + 166 + ((i % 7) - 3.0));  // bounded "noise"
+  }
+  const auto fit = pu::fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.7, 0.01);
+  EXPECT_NEAR(fit.intercept, 166.0, 2.0);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW((void)pu::fit_line(one, one), std::logic_error);
+  std::vector<double> same_x{2.0, 2.0};
+  std::vector<double> ys{1.0, 3.0};
+  EXPECT_THROW((void)pu::fit_line(same_x, ys), std::logic_error);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  pu::Histogram h(0.0, 10.0, 10);
+  for (double x : {-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 100.0}) h.add(x);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(LogHistogram, GeometricBins) {
+  pu::LogHistogram h(1.0, 1024.0, 10);
+  h.add(1.5);
+  h.add(512.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_NEAR(h.bin_low(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_high(9), 1024.0, 1e-6);
+}
+
+TEST(Strings, TrimSplitParse) {
+  EXPECT_EQ(pu::trim("  a b\t"), "a b");
+  EXPECT_EQ(pu::split("a:b::c", ':').size(), 4u);
+  EXPECT_EQ(pu::parse_int("42").value(), 42);
+  EXPECT_FALSE(pu::parse_int("42x").has_value());
+  EXPECT_NEAR(pu::parse_double("3.5").value(), 3.5, 1e-12);
+  EXPECT_TRUE(pu::parse_bool("Yes").value());
+  EXPECT_FALSE(pu::parse_bool("off").value());
+  EXPECT_FALSE(pu::parse_bool("maybe").has_value());
+}
+
+TEST(Strings, FormatNs) {
+  EXPECT_EQ(pu::format_ns(500), "500 ns");
+  EXPECT_EQ(pu::format_ns(350200), "350.20 us");
+  EXPECT_EQ(pu::format_ns(1320000000), "1.32 s");
+}
+
+TEST(Table, RendersAlignedRows) {
+  pu::Table t({"name", "value"});
+  t.add_row({"alpha", pu::Table::cell(3.14159, 2)});
+  t.add_row({"b", pu::Table::cell(static_cast<long long>(42))});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), std::logic_error);
+}
