@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clock_sync.dir/abl_clock_sync.cpp.o"
+  "CMakeFiles/abl_clock_sync.dir/abl_clock_sync.cpp.o.d"
+  "abl_clock_sync"
+  "abl_clock_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clock_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

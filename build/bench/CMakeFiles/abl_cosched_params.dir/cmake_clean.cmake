@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cosched_params.dir/abl_cosched_params.cpp.o"
+  "CMakeFiles/abl_cosched_params.dir/abl_cosched_params.cpp.o.d"
+  "abl_cosched_params"
+  "abl_cosched_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cosched_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kernel_features.dir/abl_kernel_features.cpp.o"
+  "CMakeFiles/abl_kernel_features.dir/abl_kernel_features.cpp.o.d"
+  "abl_kernel_features"
+  "abl_kernel_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kernel_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_app_sweep.dir/ext_app_sweep.cpp.o"
+  "CMakeFiles/ext_app_sweep.dir/ext_app_sweep.cpp.o.d"
+  "ext_app_sweep"
+  "ext_app_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_app_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

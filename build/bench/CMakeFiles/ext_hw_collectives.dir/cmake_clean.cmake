@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hw_collectives.dir/ext_hw_collectives.cpp.o"
+  "CMakeFiles/ext_hw_collectives.dir/ext_hw_collectives.cpp.o.d"
+  "ext_hw_collectives"
+  "ext_hw_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hw_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spin_block.dir/ext_spin_block.cpp.o"
+  "CMakeFiles/ext_spin_block.dir/ext_spin_block.cpp.o.d"
+  "ext_spin_block"
+  "ext_spin_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spin_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_overlap.dir/fig1_overlap.cpp.o"
+  "CMakeFiles/fig1_overlap.dir/fig1_overlap.cpp.o.d"
+  "fig1_overlap"
+  "fig1_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vanilla16.dir/fig3_vanilla16.cpp.o"
+  "CMakeFiles/fig3_vanilla16.dir/fig3_vanilla16.cpp.o.d"
+  "fig3_vanilla16"
+  "fig3_vanilla16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vanilla16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

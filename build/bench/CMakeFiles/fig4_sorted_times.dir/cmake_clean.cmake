@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sorted_times.dir/fig4_sorted_times.cpp.o"
+  "CMakeFiles/fig4_sorted_times.dir/fig4_sorted_times.cpp.o.d"
+  "fig4_sorted_times"
+  "fig4_sorted_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sorted_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_proto16.dir/fig5_proto16.cpp.o"
+  "CMakeFiles/fig5_proto16.dir/fig5_proto16.cpp.o.d"
+  "fig5_proto16"
+  "fig5_proto16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_proto16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

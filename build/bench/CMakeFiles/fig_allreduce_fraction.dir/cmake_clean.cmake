@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_allreduce_fraction.dir/fig_allreduce_fraction.cpp.o"
+  "CMakeFiles/fig_allreduce_fraction.dir/fig_allreduce_fraction.cpp.o.d"
+  "fig_allreduce_fraction"
+  "fig_allreduce_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_allreduce_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_bench_common.dir/common.cpp.o"
+  "CMakeFiles/pasched_bench_common.dir/common.cpp.o.d"
+  "libpasched_bench_common.a"
+  "libpasched_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpasched_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_15v16.dir/tab_15v16.cpp.o"
+  "CMakeFiles/tab_15v16.dir/tab_15v16.cpp.o.d"
+  "tab_15v16"
+  "tab_15v16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_15v16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

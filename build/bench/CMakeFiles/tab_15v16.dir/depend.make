@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_15v16.
+# This may be replaced when dependencies are built.

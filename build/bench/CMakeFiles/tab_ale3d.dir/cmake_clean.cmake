@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ale3d.dir/tab_ale3d.cpp.o"
+  "CMakeFiles/tab_ale3d.dir/tab_ale3d.cpp.o.d"
+  "tab_ale3d"
+  "tab_ale3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ale3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

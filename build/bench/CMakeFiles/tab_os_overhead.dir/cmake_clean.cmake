@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_os_overhead.dir/tab_os_overhead.cpp.o"
+  "CMakeFiles/tab_os_overhead.dir/tab_os_overhead.cpp.o.d"
+  "tab_os_overhead"
+  "tab_os_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_os_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

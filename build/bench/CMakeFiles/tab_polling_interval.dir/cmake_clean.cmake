@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_polling_interval.dir/tab_polling_interval.cpp.o"
+  "CMakeFiles/tab_polling_interval.dir/tab_polling_interval.cpp.o.d"
+  "tab_polling_interval"
+  "tab_polling_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_polling_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_trace_study.dir/aggregate_trace_study.cpp.o"
+  "CMakeFiles/aggregate_trace_study.dir/aggregate_trace_study.cpp.o.d"
+  "aggregate_trace_study"
+  "aggregate_trace_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_trace_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

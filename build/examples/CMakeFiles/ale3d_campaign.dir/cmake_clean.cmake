@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale3d_campaign.dir/ale3d_campaign.cpp.o"
+  "CMakeFiles/ale3d_campaign.dir/ale3d_campaign.cpp.o.d"
+  "ale3d_campaign"
+  "ale3d_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale3d_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
