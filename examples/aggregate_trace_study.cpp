@@ -3,8 +3,8 @@
 // parameters and MPI settings, and print per-point statistics plus a linear
 // fit — the workflow behind Figures 3/5/6, exposed as a tool.
 //
-//   ./aggregate_trace_study --kernel=prototype --cosched=true \
-//       --procs=32,64,128,256 --calls=800 --duty=0.9 --period=5 \
+//   ./aggregate_trace_study --kernel=prototype --cosched=true
+//       --procs=32,64,128,256 --calls=800 --duty=0.9 --period=5
 //       --polling-ms=400 --tasks-per-node=16 --seed=1
 #include <iostream>
 #include <vector>

@@ -2,7 +2,7 @@
 // report the per-phase breakdown — the workflow a performance engineer would
 // use to decide co-scheduler settings for an I/O-heavy production code.
 //
-//   ./ale3d_campaign --mode=tuned --nodes=24 --steps=30 \
+//   ./ale3d_campaign --mode=tuned --nodes=24 --steps=30
 //       [--checkpoint-every=8] [--seed=3]
 //   modes: vanilla | naive | tuned
 #include <iostream>

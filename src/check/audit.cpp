@@ -1,0 +1,145 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "check/check.hpp"
+#include "kern/kernel.hpp"
+#include "kern/thread.hpp"
+
+namespace pasched::check {
+
+using sim::Duration;
+using sim::Time;
+
+std::string ConservationReport::str() const {
+  std::ostringstream os;
+  os << "wall=" << wall.str() << " x " << ncpus
+     << " cpus: busy=" << busy.str() << " idle=" << idle.str()
+     << " thread_cpu=" << thread_cpu.str()
+     << " tick_stretch=" << tick_stretch.str()
+     << " in_flight=" << in_flight.str() << " [ns: busy=" << busy.count()
+     << " idle=" << idle.count() << " thread=" << thread_cpu.count()
+     << " stretch=" << tick_stretch.count()
+     << " in_flight=" << in_flight.count() << "]";
+  return os.str();
+}
+
+ConservationReport Auditor::conservation(const kern::Kernel& k) {
+  const Time now = k.engine_.now();
+  ConservationReport r;
+  r.ncpus = k.ncpus();
+  r.wall = now - k.acct_start_;
+  r.capacity = r.wall * static_cast<std::int64_t>(r.ncpus);
+  r.busy = k.acct_.busy_cpu;
+  r.idle = k.acct_.idle_cpu;
+  r.tick_stretch = k.acct_.tick_stretch;
+
+  // Close the in-progress occupancy / idle interval of every CPU, and count
+  // accrued-but-uncharged work of whoever is on a CPU right now: the
+  // unfinished part of a pending burst (its deadline already includes any
+  // tick displacement, so deadline - now is exactly the unworked remainder)
+  // or the spin time since spin_start.
+  for (const kern::Kernel::Cpu& c : k.cpus_) {
+    if (c.current == nullptr) {
+      r.idle += now - c.idle_since;
+      continue;
+    }
+    r.busy += now - c.run_start;
+    const kern::Thread& t = *c.current;
+    if (k.engine_.pending(t.burst_event_)) {
+      const Duration remaining = std::clamp(t.burst_deadline_ - now,
+                                            Duration::zero(), t.burst_len_);
+      r.in_flight += t.burst_len_ - remaining;
+    } else if (t.spin_waiting_) {
+      r.in_flight += now - t.spin_start_;
+    }
+  }
+
+  for (const auto& t : k.threads_) r.thread_cpu += t->total_cpu_;
+  for (const Duration d : k.acct_.class_cpu) r.class_cpu += d;
+  return r;
+}
+
+void Auditor::verify_conservation(const ConservationReport& r) {
+  PASCHED_CHECK_ALWAYS_MSG(r.busy + r.idle == r.capacity,
+                           "busy + idle != wall x cpus: " + r.str());
+  PASCHED_CHECK_ALWAYS_MSG(
+      r.thread_cpu == r.class_cpu,
+      "per-thread and per-class CPU accounting disagree: thread_cpu=" +
+          r.thread_cpu.str() + " class_cpu=" + r.class_cpu.str());
+  PASCHED_CHECK_ALWAYS_MSG(
+      r.busy == r.thread_cpu + r.tick_stretch + r.in_flight,
+      "CPU time not conserved: " + r.str());
+}
+
+void Auditor::verify_runqueues(const kern::Kernel& k) {
+  // How many queues hold each thread (Ready threads must appear exactly once).
+  std::unordered_map<const kern::Thread*, int> queued;
+  auto scan = [&](const std::vector<kern::Thread*>& q, const char* which) {
+    for (const kern::Thread* t : q) {
+      PASCHED_CHECK_ALWAYS_MSG(t->state_ == kern::ThreadState::Ready,
+                               t->name() + " is on the " + which +
+                                   " queue but in state " +
+                                   kern::to_string(t->state_));
+      PASCHED_CHECK_ALWAYS_MSG(
+          t->running_on_ == kern::kNoCpu,
+          t->name() + " is queued yet claims to occupy a CPU");
+      ++queued[t];
+    }
+  };
+  scan(k.globalq_, "global");
+  for (const kern::Kernel::Cpu& c : k.cpus_) scan(c.runq, "per-CPU");
+
+  for (kern::CpuId cpu = 0; cpu < k.ncpus(); ++cpu) {
+    const kern::Thread* cur = k.cpus_[static_cast<std::size_t>(cpu)].current;
+    if (cur == nullptr) continue;
+    PASCHED_CHECK_ALWAYS_MSG(cur->state_ == kern::ThreadState::Running,
+                             cur->name() + " occupies CPU " +
+                                 std::to_string(cpu) + " but is in state " +
+                                 kern::to_string(cur->state_));
+    PASCHED_CHECK_ALWAYS_MSG(cur->running_on_ == cpu,
+                             cur->name() +
+                                 "'s running_on disagrees with CPU occupancy");
+    PASCHED_CHECK_ALWAYS_MSG(queued.count(cur) == 0,
+                             cur->name() + " is simultaneously running and enqueued");
+  }
+
+  for (const auto& owned : k.threads_) {
+    const kern::Thread* t = owned.get();
+    const int on_queues = queued.count(t) != 0 ? queued.at(t) : 0;
+    switch (t->state_) {
+      case kern::ThreadState::Ready:
+        PASCHED_CHECK_ALWAYS_MSG(on_queues == 1,
+                                 t->name() + " is Ready but sits on " +
+                                     std::to_string(on_queues) + " queues");
+        break;
+      case kern::ThreadState::Running: {
+        const kern::CpuId cpu = t->running_on_;
+        PASCHED_CHECK_ALWAYS_MSG(cpu >= 0 && cpu < k.ncpus(),
+                                 t->name() + " is Running on no valid CPU");
+        PASCHED_CHECK_ALWAYS_MSG(
+            k.cpus_[static_cast<std::size_t>(cpu)].current == t,
+            t->name() + " thinks it runs on CPU " + std::to_string(cpu) +
+                " but the CPU disagrees");
+        break;
+      }
+      case kern::ThreadState::Blocked:
+      case kern::ThreadState::Done:
+        PASCHED_CHECK_ALWAYS_MSG(on_queues == 0,
+                                 t->name() + " is " +
+                                     kern::to_string(t->state_) +
+                                     " yet sits on a run queue");
+        PASCHED_CHECK_ALWAYS_MSG(
+            t->running_on_ == kern::kNoCpu,
+            t->name() + " is off-CPU yet claims a running_on CPU");
+        PASCHED_CHECK_ALWAYS_MSG(
+            !k.engine_.pending(t->burst_event_),
+            t->name() + " is off-CPU yet has a pending burst event");
+        break;
+    }
+  }
+}
+
+}  // namespace pasched::check

@@ -1,0 +1,65 @@
+// Whole-model audits: structural invariants that are too expensive to assert
+// on every event but must hold at any quiescent point. The Auditor is always
+// compiled (calling it is opt-in, so the zero-overhead-when-off rule is not
+// violated); it reports failures through check::CheckError.
+//
+// Two audit families:
+//  * run-queue consistency — every thread is exactly where its state says it
+//    is: Running threads are some CPU's `current` and on no queue, Ready
+//    threads are on exactly one queue, Blocked/Done threads are on none.
+//  * CPU-time conservation — the kernel's wall-clock capacity is exactly
+//    partitioned into per-thread charges, tick-displaced burst time, idle
+//    time, and not-yet-charged in-flight work. A leak in either direction
+//    means charge()/take_off_cpu() bookkeeping broke.
+#pragma once
+
+#include <string>
+
+#include "kern/types.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::kern {
+class Kernel;
+}
+
+namespace pasched::check {
+
+/// The conservation ledger for one node at one instant. All quantities are
+/// node-wide sums; `capacity` = wall-clock since kernel construction × CPUs.
+struct ConservationReport {
+  int ncpus = 0;
+  sim::Duration wall = sim::Duration::zero();      // per-CPU wall clock
+  sim::Duration capacity = sim::Duration::zero();  // wall * ncpus
+  sim::Duration busy = sim::Duration::zero();      // occupied CPU wall time
+  sim::Duration idle = sim::Duration::zero();      // unoccupied CPU wall time
+  sim::Duration thread_cpu = sim::Duration::zero();  // sum of total_cpu()
+  sim::Duration class_cpu = sim::Duration::zero();   // sum of per-class buckets
+  sim::Duration tick_stretch = sim::Duration::zero();  // bursts displaced by ticks
+  sim::Duration in_flight = sim::Duration::zero();  // accrued, not yet charged
+
+  [[nodiscard]] std::string str() const;
+};
+
+class Auditor {
+ public:
+  /// Snapshots the conservation ledger for `k`. Valid at any point where the
+  /// engine is not mid-event (e.g. after run()/run_until() returns).
+  [[nodiscard]] static ConservationReport conservation(const kern::Kernel& k);
+
+  /// Checks the ledger's identities; throws CheckError on violation:
+  ///   busy + idle == capacity
+  ///   thread_cpu == class_cpu
+  ///   busy == thread_cpu + tick_stretch + in_flight
+  static void verify_conservation(const ConservationReport& r);
+
+  /// conservation() + verify_conservation() in one call.
+  static void verify_conservation(const kern::Kernel& k) {
+    verify_conservation(conservation(k));
+  }
+
+  /// Cross-checks thread states against run queues and CPU occupancy;
+  /// throws CheckError on the first inconsistency.
+  static void verify_runqueues(const kern::Kernel& k);
+};
+
+}  // namespace pasched::check

@@ -1,0 +1,69 @@
+// PASCHED_CHECK: the opt-in runtime validation layer. Unlike the always-on
+// contracts in util/assert.hpp (which guard API misuse by callers), these
+// macros assert *internal* invariants of the engine and kernel model — the
+// properties that, if silently violated, corrupt every downstream figure.
+// They compile to nothing unless the build defines PASCHED_VALIDATE_ENABLED=1
+// (CMake option PASCHED_VALIDATE), so hot paths pay zero cost when off.
+#pragma once
+
+#ifndef PASCHED_VALIDATE_ENABLED
+#define PASCHED_VALIDATE_ENABLED 0
+#endif
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pasched::check {
+
+/// Thrown on a violated validation invariant. A distinct type (rather than
+/// util::contract_failure's std::logic_error) so tests and the audit tool
+/// can tell "model invariant broken" from "API misused".
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failure(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "Validation failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace pasched::check
+
+// PASCHED_CHECK_ALWAYS: the active form, used directly by explicit audit
+// entry points (check::Auditor) that are opt-in by call rather than by build
+// flag. The message expression is evaluated only on failure.
+#define PASCHED_CHECK_ALWAYS_MSG(cond, msg)                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::pasched::check::check_failure(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+#define PASCHED_CHECK_ALWAYS(cond) PASCHED_CHECK_ALWAYS_MSG(cond, "")
+
+#if PASCHED_VALIDATE_ENABLED
+
+#define PASCHED_CHECK(cond) PASCHED_CHECK_ALWAYS_MSG(cond, "")
+#define PASCHED_CHECK_MSG(cond, msg) PASCHED_CHECK_ALWAYS_MSG(cond, (msg))
+
+#else
+
+// Off: the condition and message are *not* evaluated (zero overhead), but
+// still parsed, so a broken check expression cannot bit-rot unnoticed.
+#define PASCHED_CHECK(cond)             \
+  do {                                  \
+    if (false && (cond)) {              \
+    }                                   \
+  } while (0)
+#define PASCHED_CHECK_MSG(cond, msg)    \
+  do {                                  \
+    if (false && (cond)) {              \
+      static_cast<void>(msg);           \
+    }                                   \
+  } while (0)
+
+#endif  // PASCHED_VALIDATE_ENABLED

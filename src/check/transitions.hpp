@@ -1,0 +1,41 @@
+// The legal thread-state machine, written down once. The Kernel routes every
+// ThreadState change through this table (see Kernel::set_state), so a policy
+// refactor that, say, re-enqueues a Done thread or dispatches something that
+// was never made Ready fails immediately at the transition, not three events
+// later as a corrupted run queue.
+//
+//            wake              dispatch
+//   Blocked ------->  Ready  ----------->  Running
+//      ^                ^                   |  |  |
+//      |                +---- preempt ------+  |  +--exit--> Done (terminal)
+//      +----------------------- block ---------+
+#pragma once
+
+#include "kern/types.hpp"
+
+namespace pasched::check {
+
+[[nodiscard]] constexpr bool thread_transition_ok(kern::ThreadState from,
+                                                  kern::ThreadState to) noexcept {
+  using S = kern::ThreadState;
+  switch (from) {
+    case S::Blocked:
+      return to == S::Ready;  // wake()
+    case S::Ready:
+      return to == S::Running;  // dispatch()
+    case S::Running:
+      // preempt() / block_current(Blocked) / block_current(Done)
+      return to == S::Ready || to == S::Blocked || to == S::Done;
+    case S::Done:
+      return false;  // terminal
+  }
+  return false;
+}
+
+/// Human-readable "<from> -> <to>" for check-failure messages.
+[[nodiscard]] inline std::string transition_str(kern::ThreadState from,
+                                                kern::ThreadState to) {
+  return std::string(kern::to_string(from)) + " -> " + kern::to_string(to);
+}
+
+}  // namespace pasched::check

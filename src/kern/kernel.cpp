@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
+#include "check/transitions.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::kern {
@@ -28,6 +30,8 @@ Kernel::Kernel(sim::Engine& engine, NodeId node, int ncpus, Tunables tunables,
   PASCHED_EXPECTS(ncpus > 0);
   PASCHED_EXPECTS(tun_.big_tick >= 1);
   cpus_.resize(static_cast<std::size_t>(ncpus));
+  acct_start_ = engine_.now();
+  for (Cpu& c : cpus_) c.idle_since = acct_start_;
   const std::int64_t interval = tun_.tick_interval().count();
   unaligned_phase_ = Duration::ns(
       static_cast<std::int64_t>(tick_phase_seed % static_cast<std::uint64_t>(
@@ -64,10 +68,18 @@ bool goes_to_global(const Thread& t, const Tunables& tun) {
 }
 }  // namespace
 
+void Kernel::set_state(Thread& t, ThreadState to) {
+  PASCHED_CHECK_MSG(check::thread_transition_ok(t.state_, to),
+                    "illegal thread-state transition " +
+                        check::transition_str(t.state_, to) + " for " +
+                        t.name());
+  t.state_ = to;
+}
+
 void Kernel::enqueue(Thread& t) {
   PASCHED_ASSERT_MSG(t.running_on_ == kNoCpu,
                      "cannot enqueue a thread still occupying a CPU");
-  t.state_ = ThreadState::Ready;
+  set_state(t, ThreadState::Ready);
   t.enqueue_seq_ = seq_++;
   if (goes_to_global(t, tun_)) {
     globalq_.push_back(&t);
@@ -120,9 +132,12 @@ void Kernel::dispatch(CpuId cpu) {
     return;
   }
   remove_from_queue(*t);
-  t->state_ = ThreadState::Running;
+  PASCHED_CHECK_MSG(t->running_on_ == kNoCpu,
+                    "dispatching a thread that still occupies a CPU");
+  set_state(*t, ThreadState::Running);
   t->running_on_ = cpu;
   t->dispatches_++;
+  acct_.idle_cpu += engine_.now() - c.idle_since;
   c.current = t;
   c.run_start = engine_.now();
   t->pending_switch_cost_ =
@@ -199,9 +214,15 @@ void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
   if (engine_.pending(t->burst_event_)) {
     // Tick interrupts push the deadline out, so wall-time-remaining can
     // exceed the nominal work; clamp so work is conserved and the charge
-    // stays non-negative.
-    const Duration remaining = std::clamp(t->burst_deadline_ - engine_.now(),
-                                          Duration::zero(), t->burst_len_);
+    // stays non-negative. When the thread leaves before the elapsed wall
+    // time covers the pushed-out handler cost (e.g. a tick preempts it at
+    // the very timestamp of the push), the overhang was booked as
+    // tick_stretch but never occupied the CPU — deduct it so the
+    // conservation ledger stays exact.
+    const Duration raw = t->burst_deadline_ - engine_.now();
+    const Duration remaining =
+        std::clamp(raw, Duration::zero(), t->burst_len_);
+    if (raw > t->burst_len_) acct_.tick_stretch -= raw - t->burst_len_;
     engine_.cancel(t->burst_event_);
     t->burst_event_ = sim::EventId{};
     if (charge_time) charge(*t, t->burst_len_ - remaining);
@@ -212,6 +233,8 @@ void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
   }
   t->running_on_ = kNoCpu;
   c.current = nullptr;
+  acct_.busy_cpu += engine_.now() - c.run_start;
+  c.idle_since = engine_.now();
 }
 
 void Kernel::preempt(CpuId cpu) {
@@ -236,7 +259,7 @@ void Kernel::block_current(CpuId cpu, ThreadState new_state) {
   Thread* t = c.current;
   PASCHED_ASSERT(t != nullptr);
   take_off_cpu(cpu, /*charge=*/true);
-  t->state_ = new_state;
+  set_state(*t, new_state);
   if (observer_ != nullptr)
     observer_->on_state(engine_.now(), node_, *t, new_state);
   dispatch(cpu);
@@ -422,6 +445,7 @@ void Kernel::on_tick(CpuId cpu) {
   if (c.current != nullptr && engine_.pending(c.current->burst_event_)) {
     Thread& t = *c.current;
     engine_.cancel(t.burst_event_);
+    acct_.tick_stretch += cost;
     t.burst_deadline_ += cost;
     Thread* tp = &t;
     t.burst_event_ = engine_.schedule_at(

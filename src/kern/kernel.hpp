@@ -16,6 +16,10 @@
 #include "kern/types.hpp"
 #include "sim/engine.hpp"
 
+namespace pasched::check {
+class Auditor;
+}
+
 namespace pasched::kern {
 
 inline constexpr std::size_t kThreadClassCount = 5;
@@ -24,6 +28,13 @@ inline constexpr std::size_t kThreadClassCount = 5;
 struct Accounting {
   std::array<sim::Duration, kThreadClassCount> class_cpu{};
   sim::Duration tick_cpu = sim::Duration::zero();
+  /// Wall time CPUs spent occupied / unoccupied (closed intervals only; the
+  /// conservation audit adds the in-progress interval itself).
+  sim::Duration busy_cpu = sim::Duration::zero();
+  sim::Duration idle_cpu = sim::Duration::zero();
+  /// Tick-handler time that displaced an in-progress burst — the exact gap
+  /// between a thread's wall occupancy and its charged CPU time.
+  sim::Duration tick_stretch = sim::Duration::zero();
   std::uint64_t ticks_taken = 0;
   std::uint64_t ipis_sent = 0;
   std::uint64_t preemptions = 0;
@@ -93,10 +104,13 @@ class Kernel {
   void set_observer(SchedObserver* obs) noexcept { observer_ = obs; }
 
  private:
+  friend class ::pasched::check::Auditor;
+
   struct Cpu {
     Thread* current = nullptr;
     Thread* last_run = nullptr;  // context-switch cost bookkeeping
     sim::Time run_start{};
+    sim::Time idle_since{};  // start of the current idle interval
     bool ipi_pending = false;
     sim::Time next_tick_local{};
     struct Callout {
@@ -109,6 +123,7 @@ class Kernel {
   };
 
   // Queue / dispatch machinery.
+  void set_state(Thread& t, ThreadState to);
   void enqueue(Thread& t);
   void remove_from_queue(Thread& t);
   [[nodiscard]] Thread* peek_best(CpuId cpu, bool allow_steal) const;
@@ -145,6 +160,7 @@ class Kernel {
   std::vector<Cpu> cpus_;
   std::vector<Thread*> globalq_;  // ready threads runnable on any CPU
   std::vector<std::unique_ptr<Thread>> threads_;
+  sim::Time acct_start_{};  // when busy/idle accounting began (construction)
   sim::Time last_decay_{};
   std::uint64_t seq_ = 0;
   std::uint64_t callout_seq_ = 0;

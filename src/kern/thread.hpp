@@ -10,6 +10,10 @@
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
+namespace pasched::check {
+class Auditor;
+}
+
 namespace pasched::kern {
 
 /// Construction parameters for a thread.
@@ -59,6 +63,7 @@ class Thread {
 
  private:
   friend class Kernel;
+  friend class ::pasched::check::Auditor;
 
   int tid_;
   ThreadSpec spec_;

@@ -1,7 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::sim {
@@ -10,6 +13,8 @@ std::uint32_t Engine::acquire_slot() {
   if (!free_.empty()) {
     const std::uint32_t idx = free_.back();
     free_.pop_back();
+    PASCHED_CHECK_MSG(!slots_[idx].armed && !slots_[idx].fn,
+                      "free-list slot still armed or holding a callback");
     return idx;
   }
   slots_.emplace_back();
@@ -58,6 +63,17 @@ bool Engine::fire_next() {
     Slot& s = slots_[top.slot];
     if (s.gen != top.gen || !s.armed) continue;  // stale (cancelled) entry
     PASCHED_ASSERT(top.t >= now_);
+    // Causality: pops must come off the heap in strictly increasing (t, seq)
+    // order — a regression here reorders same-timestamp events and silently
+    // breaks the engine's FIFO tie-break guarantee.
+    PASCHED_CHECK_MSG(
+        top.t > last_fired_t_ ||
+            (top.t == last_fired_t_ && top.seq > last_fired_seq_),
+        "event fired out of (t, seq) order");
+    PASCHED_CHECK_MSG(static_cast<bool>(s.fn),
+                      "armed slot has no callback to fire");
+    last_fired_t_ = top.t;
+    last_fired_seq_ = top.seq;
     now_ = top.t;
     // Move the callback out before releasing so the handler can freely
     // schedule/cancel (including reusing this very slot).
@@ -106,6 +122,52 @@ bool Engine::run_until(Time deadline) {
     }
   }
   return false;
+}
+
+void Engine::check_consistent() const {
+  // Every armed slot holds a callback; live_ counts exactly the armed slots.
+  std::size_t armed = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.armed) {
+      ++armed;
+      PASCHED_CHECK_ALWAYS_MSG(static_cast<bool>(s.fn),
+                               "armed slot " + std::to_string(i) +
+                                   " has no callback");
+    }
+  }
+  PASCHED_CHECK_ALWAYS_MSG(armed == live_,
+                           "live_ disagrees with armed slot count");
+
+  // Each armed slot is referenced by exactly one current-generation heap
+  // entry; every other heap entry is stale (superseded generation).
+  std::vector<std::uint32_t> refs(slots_.size(), 0);
+  for (const HeapItem& h : heap_) {
+    PASCHED_CHECK_ALWAYS_MSG(h.slot < slots_.size(),
+                             "heap entry references an out-of-range slot");
+    if (slots_[h.slot].gen == h.gen) {
+      PASCHED_CHECK_ALWAYS_MSG(slots_[h.slot].armed,
+                               "current-generation heap entry on a disarmed slot");
+      ++refs[h.slot];
+    }
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::uint32_t expected = slots_[i].armed ? 1 : 0;
+    PASCHED_CHECK_ALWAYS_MSG(
+        refs[i] == expected,
+        "slot " + std::to_string(i) + " has " + std::to_string(refs[i]) +
+            " live heap entries, expected " + std::to_string(expected));
+  }
+
+  // Free-list entries are disarmed, in range, and unique.
+  std::vector<bool> freed(slots_.size(), false);
+  for (const std::uint32_t idx : free_) {
+    PASCHED_CHECK_ALWAYS_MSG(idx < slots_.size(),
+                             "free list references an out-of-range slot");
+    PASCHED_CHECK_ALWAYS_MSG(!slots_[idx].armed, "free list holds an armed slot");
+    PASCHED_CHECK_ALWAYS_MSG(!freed[idx], "slot appears twice on the free list");
+    freed[idx] = true;
+  }
 }
 
 }  // namespace pasched::sim

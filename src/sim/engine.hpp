@@ -59,6 +59,11 @@ class Engine {
   }
   [[nodiscard]] std::size_t events_pending() const noexcept { return live_; }
 
+  /// Full O(n) structural audit of the slot table / heap / free list; throws
+  /// check::CheckError on the first inconsistency. Always compiled (calling
+  /// it is opt-in); the per-event checks are gated by PASCHED_VALIDATE.
+  void check_consistent() const;
+
  private:
   struct Slot {
     Callback fn;
@@ -90,6 +95,11 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
+  // Last fired (t, seq), for the PASCHED_VALIDATE causality check. Always
+  // present so the class layout does not depend on the validation flag.
+  // The sentinel start time compares below any schedulable time.
+  Time last_fired_t_ = Time::from_ns(INT64_MIN);
+  std::uint64_t last_fired_seq_ = 0;
 };
 
 }  // namespace pasched::sim

@@ -1,0 +1,243 @@
+// The validation layer end to end: the thread-state transition table, the
+// engine's causality/structural audits, and the Auditor's conservation and
+// run-queue invariants — including deliberate violations of each invariant
+// class, asserting the checks report them as check::CheckError.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/check.hpp"
+#include "check/transitions.hpp"
+#include "kern/kernel.hpp"
+#include "sim/engine.hpp"
+
+using namespace pasched;
+using namespace pasched::sim::literals;
+using check::Auditor;
+using check::CheckError;
+using check::ConservationReport;
+using kern::Kernel;
+using kern::RunDecision;
+using kern::Thread;
+using kern::ThreadSpec;
+using kern::ThreadState;
+using sim::Duration;
+using sim::Engine;
+using sim::Time;
+
+namespace {
+
+struct Script final : kern::ThreadClient {
+  std::vector<RunDecision> steps;
+  std::size_t pc = 0;
+  bool exit_at_end = false;
+
+  RunDecision next(Time) override {
+    if (pc < steps.size()) return steps[pc++];
+    return exit_at_end ? RunDecision::exit() : RunDecision::block();
+  }
+};
+
+kern::Tunables quiet_tunables() {
+  kern::Tunables t;
+  t.tick_cost = Duration::ns(1);
+  t.context_switch_cost = Duration::ns(1);
+  return t;
+}
+
+ThreadSpec spec(const char* name, kern::Priority prio, kern::CpuId cpu) {
+  ThreadSpec s;
+  s.name = name;
+  s.base_priority = prio;
+  s.fixed_priority = true;
+  s.home_cpu = cpu;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Thread-state transition table
+// ---------------------------------------------------------------------------
+
+TEST(CheckTransitions, TableMatchesTheStateMachineExactly) {
+  using S = ThreadState;
+  const S all[] = {S::Ready, S::Running, S::Blocked, S::Done};
+  for (const S from : all) {
+    for (const S to : all) {
+      const bool legal = (from == S::Blocked && to == S::Ready) ||
+                         (from == S::Ready && to == S::Running) ||
+                         (from == S::Running &&
+                          (to == S::Ready || to == S::Blocked || to == S::Done));
+      EXPECT_EQ(check::thread_transition_ok(from, to), legal)
+          << check::transition_str(from, to);
+    }
+  }
+}
+
+TEST(CheckTransitions, DoneIsTerminal) {
+  using S = ThreadState;
+  for (const S to : {S::Ready, S::Running, S::Blocked, S::Done})
+    EXPECT_FALSE(check::thread_transition_ok(S::Done, to));
+}
+
+// ---------------------------------------------------------------------------
+// Engine causality and structure
+// ---------------------------------------------------------------------------
+
+TEST(CheckEngine, SchedulingInThePastIsRejected) {
+  Engine e;
+  e.schedule_at(Time::zero() + 10_ms, [] {});
+  e.run();
+  ASSERT_EQ(e.now(), Time::zero() + 10_ms);
+  // Invariant class 1: engine causality. schedule_at strictly before now()
+  // must be reported, not silently reordered.
+  EXPECT_THROW(e.schedule_at(Time::zero() + 5_ms, [] {}), std::logic_error);
+}
+
+TEST(CheckEngine, StructuralAuditPassesThroughChurn) {
+  Engine e;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(e.schedule_after(Duration::us(i % 7), [] {}));
+  for (std::size_t i = 0; i < ids.size(); i += 3) e.cancel(ids[i]);
+  e.check_consistent();
+  e.run();
+  e.check_consistent();
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation audit
+// ---------------------------------------------------------------------------
+
+TEST(CheckConservation, HoldsAfterAMixedRun) {
+  Engine e;
+  Kernel k(e, 0, 2, quiet_tunables(), Duration::zero(), 0);
+  Script a, b, c;
+  a.steps = {RunDecision::compute(3_ms), RunDecision::block(),
+             RunDecision::compute(1_ms)};
+  a.exit_at_end = true;
+  b.steps = {RunDecision::compute(5_ms)};
+  b.exit_at_end = true;
+  c.steps = {RunDecision::compute(2_ms), RunDecision::compute(2_ms)};
+  c.exit_at_end = true;
+  Thread& ta = k.create_thread(spec("a", 50, 0), a);
+  Thread& tb = k.create_thread(spec("b", 60, 0), b);
+  Thread& tc = k.create_thread(spec("c", 55, 1), c);
+  k.start();
+  k.wake(ta);
+  k.wake(tb);
+  k.wake(tc);
+  e.run_until(Time::zero() + 4_ms);  // mid-run audit: in-flight work exists
+  Auditor::verify_conservation(k);
+  Auditor::verify_runqueues(k);
+  e.run_until(Time::zero() + 50_ms);
+  if (ta.state() == ThreadState::Blocked) k.wake(ta);  // finish a's last leg
+  e.run_until(Time::zero() + 100_ms);
+  Auditor::verify_conservation(k);
+  Auditor::verify_runqueues(k);
+  e.check_consistent();
+
+  const ConservationReport r = Auditor::conservation(k);
+  EXPECT_EQ(r.ncpus, 2);
+  EXPECT_EQ(r.busy + r.idle, r.capacity);
+  EXPECT_EQ(r.busy, r.thread_cpu + r.tick_stretch + r.in_flight);
+  EXPECT_GE(r.thread_cpu.count(), Duration::ms(13).count());
+}
+
+TEST(CheckConservation, HoldsWhileAThreadSpins) {
+  Engine e;
+  Kernel k(e, 0, 1, quiet_tunables(), Duration::zero(), 0);
+  Script s;
+  s.steps = {RunDecision::compute(1_ms), RunDecision::spin()};
+  Thread& t = k.create_thread(spec("spinner", 60, 0), s);
+  k.start();
+  k.wake(t);
+  e.run_until(Time::zero() + 10_ms);  // spinning since ~1 ms: in-flight time
+  const ConservationReport r = Auditor::conservation(k);
+  EXPECT_GT(r.in_flight.count(), 0);
+  Auditor::verify_conservation(r);
+  Auditor::verify_runqueues(k);
+}
+
+// Invariant class 3: accounting mismatch. A ledger whose charges leak (a
+// thread charged for time no CPU spent) must be reported.
+TEST(CheckConservation, TamperedLedgerIsReported) {
+  Engine e;
+  Kernel k(e, 0, 1, quiet_tunables(), Duration::zero(), 0);
+  Script s;
+  s.steps = {RunDecision::compute(2_ms)};
+  s.exit_at_end = true;
+  Thread& t = k.create_thread(spec("t", 60, 0), s);
+  k.start();
+  k.wake(t);
+  e.run_until(Time::zero() + 20_ms);
+  ConservationReport r = Auditor::conservation(k);
+  Auditor::verify_conservation(r);  // sane before tampering
+
+  ConservationReport leak = r;
+  leak.thread_cpu += 1_ms;  // charge without occupancy
+  EXPECT_THROW(Auditor::verify_conservation(leak), CheckError);
+
+  ConservationReport lost = r;
+  lost.idle += 1_ms;  // wall clock that no CPU accounts for
+  EXPECT_THROW(Auditor::verify_conservation(lost), CheckError);
+
+  ConservationReport skew = r;
+  skew.class_cpu += 1_ms;  // per-class and per-thread ledgers disagree
+  EXPECT_THROW(Auditor::verify_conservation(skew), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-internal enforcement (requires a PASCHED_VALIDATE build)
+// ---------------------------------------------------------------------------
+
+// Invariant class 2: illegal ThreadState transition. wake() on a thread that
+// is not Blocked would be Ready -> Ready; the kernel's precondition reports
+// it before the transition table would.
+TEST(CheckKernel, WakingANonBlockedThreadIsReported) {
+  Engine e;
+  Kernel k(e, 0, 1, quiet_tunables(), Duration::zero(), 0);
+  Script s1, s2;
+  s1.steps = {RunDecision::compute(5_ms)};
+  s2.steps = {RunDecision::compute(1_ms)};
+  Thread& running = k.create_thread(spec("running", 50, 0), s1);
+  Thread& ready = k.create_thread(spec("ready", 90, 0), s2);
+  k.start();
+  k.wake(running);
+  k.wake(ready);
+  ASSERT_EQ(ready.state(), ThreadState::Ready);
+  EXPECT_THROW(k.wake(ready), std::logic_error);
+  EXPECT_THROW(k.wake(running), std::logic_error);
+}
+
+TEST(CheckKernel, RunQueueAuditSeesEveryStateCombination) {
+  Engine e;
+  Kernel k(e, 0, 2, quiet_tunables(), Duration::zero(), 0);
+  Script s1, s2, s3, s4;
+  s1.steps = {RunDecision::compute(8_ms)};
+  s2.steps = {RunDecision::compute(8_ms)};
+  s3.steps = {RunDecision::compute(8_ms)};
+  s4.steps = {RunDecision::compute(1_ms)};
+  s4.exit_at_end = true;
+  Thread& r1 = k.create_thread(spec("r1", 50, 0), s1);
+  Thread& r2 = k.create_thread(spec("r2", 50, 1), s2);
+  Thread& q1 = k.create_thread(spec("q1", 70, 0), s3);
+  Thread& done = k.create_thread(spec("d", 40, 1), s4);
+  k.start();
+  k.wake(done);
+  e.run_until(Time::zero() + 2_ms);
+  k.wake(r1);
+  k.wake(r2);
+  k.wake(q1);
+  e.run_until(Time::zero() + 3_ms);
+  ASSERT_EQ(r1.state(), ThreadState::Running);
+  ASSERT_EQ(r2.state(), ThreadState::Running);
+  ASSERT_EQ(q1.state(), ThreadState::Ready);
+  ASSERT_EQ(done.state(), ThreadState::Done);
+  Auditor::verify_runqueues(k);  // Running x2, Ready x1, Done x1: consistent
+  Auditor::verify_conservation(k);
+}

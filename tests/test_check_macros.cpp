@@ -1,0 +1,49 @@
+// PASCHED_CHECK macro semantics with validation force-enabled for this
+// translation unit only. Only check/check.hpp may be included here: its
+// behaviour is purely macro-level, so a per-TU override cannot violate the
+// one-definition rule the way overriding a class layout would.
+#undef PASCHED_VALIDATE_ENABLED
+#define PASCHED_VALIDATE_ENABLED 1
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+TEST(CheckMacrosOn, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(PASCHED_CHECK(1 + 1 == 3), pasched::check::CheckError);
+}
+
+TEST(CheckMacrosOn, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PASCHED_CHECK(2 + 2 == 4));
+}
+
+TEST(CheckMacrosOn, MessageAndExpressionAppearInTheError) {
+  try {
+    PASCHED_CHECK_MSG(false, std::string("the ledger leaked"));
+    FAIL() << "PASCHED_CHECK_MSG(false, ...) did not throw";
+  } catch (const pasched::check::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos) << what;
+    EXPECT_NE(what.find("the ledger leaked"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check_macros.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckMacrosOn, ConditionIsEvaluatedExactlyOnce) {
+  int evals = 0;
+  PASCHED_CHECK(++evals > 0);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckMacrosOn, MessageIsBuiltOnlyOnFailure) {
+  int msg_builds = 0;
+  auto msg = [&] {
+    ++msg_builds;
+    return std::string("expensive");
+  };
+  PASCHED_CHECK_MSG(true, msg());
+  EXPECT_EQ(msg_builds, 0);
+  EXPECT_THROW(PASCHED_CHECK_MSG(false, msg()), pasched::check::CheckError);
+  EXPECT_EQ(msg_builds, 1);
+}

@@ -1,0 +1,39 @@
+// PASCHED_CHECK must compile to nothing when validation is off: no condition
+// evaluation, no message construction, no throw. Validation is force-
+// disabled for this translation unit only (macro-level, ODR-safe — see
+// test_check_macros.cpp for the mirror image).
+#undef PASCHED_VALIDATE_ENABLED
+#define PASCHED_VALIDATE_ENABLED 0
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+TEST(CheckMacrosOff, FailingCheckIsANoOp) {
+  EXPECT_NO_THROW(PASCHED_CHECK(false));
+  EXPECT_NO_THROW(PASCHED_CHECK_MSG(false, "never materialises"));
+}
+
+TEST(CheckMacrosOff, ConditionIsNotEvaluated) {
+  int evals = 0;
+  PASCHED_CHECK(++evals > 0);
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(CheckMacrosOff, MessageIsNotBuilt) {
+  int msg_builds = 0;
+  auto msg = [&] {
+    ++msg_builds;
+    return std::string("expensive");
+  };
+  PASCHED_CHECK_MSG(false, msg());
+  EXPECT_EQ(msg_builds, 0);
+}
+
+TEST(CheckMacrosOff, AlwaysVariantStillFires) {
+  // Explicit audit entry points (check::Auditor, Engine::check_consistent)
+  // stay active in every build; only the hot-path macros compile out.
+  EXPECT_THROW(PASCHED_CHECK_ALWAYS(false), pasched::check::CheckError);
+  EXPECT_NO_THROW(PASCHED_CHECK_ALWAYS(true));
+}

@@ -232,7 +232,9 @@ TEST_P(KernFuzzContended, OversubscribedSingleCpuStillDrainsEverything) {
   for (int i = 0; i < 10; ++i) {
     clients.push_back(std::make_unique<FuzzClient>(seed + static_cast<std::uint64_t>(i), 15));
     kern::ThreadSpec ts;
-    ts.name = "c" + std::to_string(i);
+    // Built in two steps: gcc 12's -Wrestrict misfires on `"c" + to_string`.
+    ts.name = "c";
+    ts.name += std::to_string(i);
     ts.base_priority = static_cast<kern::Priority>(40 + i);
     ts.fixed_priority = true;
     ts.home_cpu = 0;

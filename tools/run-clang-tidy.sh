@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: the repo's .clang-tidy) over every source file in
+# src/ and tools/, using a compile_commands.json exported from a dedicated
+# build tree. Exits non-zero if any diagnostic is emitted — CI treats tidy
+# findings as errors.
+#
+# Usage: tools/run-clang-tidy.sh [build-dir]
+#   CLANG_TIDY=clang-tidy-18 tools/run-clang-tidy.sh   # pick a binary
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-tidy"}"
+
+find_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    command -v "${CLANG_TIDY}" && return 0
+  fi
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15; do
+    command -v "${cand}" && return 0
+  done
+  return 1
+}
+
+tidy_bin="$(find_tidy)" || {
+  echo "run-clang-tidy.sh: SKIP — no clang-tidy binary found on PATH" >&2
+  echo "(install clang-tidy or set CLANG_TIDY=<binary>)" >&2
+  exit 0
+}
+echo "using $("${tidy_bin}" --version | head -n 1)"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DPASCHED_BUILD_BENCH=OFF -DPASCHED_BUILD_EXAMPLES=OFF \
+  -DPASCHED_BUILD_TESTS=OFF > /dev/null
+
+mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
+  -name '*.cpp' | sort)
+
+status=0
+for src in "${sources[@]}"; do
+  # tools/ sources are only in the compile database when tools build; pass
+  # -p unconditionally and let clang-tidy resolve flags per file.
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${src}"; then
+    status=1
+  fi
+done
+
+if [ "${status}" -ne 0 ]; then
+  echo "run-clang-tidy.sh: FAIL — clang-tidy reported diagnostics" >&2
+else
+  echo "run-clang-tidy.sh: clean"
+fi
+exit "${status}"
