@@ -1,7 +1,9 @@
 #include "common.hpp"
 
 #include <iostream>
+#include <stdexcept>
 
+#include "analysis/lint.hpp"
 #include "apps/aggregate_trace.hpp"
 #include "apps/channels.hpp"
 #include "mpi/collectives.hpp"
@@ -26,6 +28,20 @@ RunResult run_aggregate(const RunSpec& spec) {
   cfg.job.seed = spec.seed * 7919 + 13;
   cfg.use_coscheduler = spec.use_cosched;
   cfg.cosched = spec.cosched;
+
+  if (spec.lint_before_run) {
+    analysis::LintConfig lc;
+    lc.tunables = spec.tunables;
+    if (spec.use_cosched) lc.cosched = spec.cosched;
+    lc.daemons = cfg.cluster.node.daemons;
+    lc.daemons_installed = spec.install_daemons;
+    lc.mpi = spec.mpi;
+    const std::vector<analysis::Diagnostic> diags = analysis::lint(lc);
+    for (const analysis::Diagnostic& d : diags)
+      std::cerr << "lint: " << d.str() << "\n";
+    if (analysis::any_errors(diags))
+      throw std::logic_error("bench RunSpec failed pasched-lint with ERRORs");
+  }
 
   apps::AggregateTraceConfig at;
   at.loops = 1;

@@ -36,6 +36,10 @@ struct RunSpec {
   /// Untimed lead-in so the co-scheduler's first aligned window engages
   /// before measurement (and daemon phases randomize fairly).
   pasched::sim::Duration warmup = pasched::sim::Duration::sec(6);
+  /// Opt-in: run pasched-lint's config rules over this spec before the
+  /// simulation. Findings print to stderr; ERROR findings throw — a bench
+  /// must not silently measure a configuration the paper calls broken.
+  bool lint_before_run = false;
 };
 
 struct RunResult {

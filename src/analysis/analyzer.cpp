@@ -1,0 +1,427 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace pasched::analysis {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+std::int64_t key_of(kern::NodeId node, int tid) {
+  return (static_cast<std::int64_t>(node) << 32) |
+         static_cast<std::uint32_t>(tid);
+}
+
+/// One closed "thread occupied (node, cpu)" interval.
+struct Occupancy {
+  kern::NodeId node = -1;
+  kern::CpuId cpu = kern::kNoCpu;
+  int tid = 0;
+  std::string name;
+  kern::ThreadClass cls = kern::ThreadClass::Other;
+  kern::Priority priority = 0;
+  sim::Time t0;
+  sim::Time t1;
+};
+
+/// One closed "thread sat Ready on node" interval.
+struct ReadySpan {
+  kern::NodeId node = -1;
+  int tid = 0;
+  std::string name;
+  kern::Priority priority = 0;
+  sim::Time t0;
+  sim::Time t1;
+};
+
+/// An open receive-wait, keyed by waiting rank.
+struct OpenWait {
+  int expected_src = -1;
+  std::uint64_t msg_id = 0;
+  sim::Time t0;
+  std::size_t event_index = 0;  // the MsgRecvWait event, for HB checks
+};
+
+struct RankIdentity {
+  kern::NodeId node = -1;
+  int tid = 0;
+  std::string name;
+  kern::Priority priority = 0;
+};
+
+/// First pass over the slice: reconstruct CPU occupancy intervals, Ready
+/// spans, the rank -> thread mapping, and the set of receive-waits with
+/// their close times.
+struct Reconstruction {
+  std::vector<Occupancy> occupancy;
+  std::vector<ReadySpan> ready;
+  std::unordered_map<int, RankIdentity> rank_of;
+  struct Wait {
+    int waiter_rank;
+    OpenWait open;
+    sim::Time t1;
+  };
+  std::vector<Wait> waits;
+  std::vector<WaitCycle> cycles;  // detected as waits open
+  sim::Time end;                  // timestamp of the last event
+};
+
+void note_rank(Reconstruction& r, int rank, const Event& e) {
+  if (rank < 0) return;
+  RankIdentity& id = r.rank_of[rank];
+  id.node = e.node;
+  id.tid = e.tid;
+  id.name = trace::display_name(e);
+  id.priority = e.priority;
+}
+
+/// Functional wait-for graph walk: each rank waits on at most one source.
+/// An edge only counts when the awaited message is NOT already in flight —
+/// a sendrecv exchange has both ranks waiting on each other with both
+/// messages posted, which drains fine and is no deadlock. Returns the cycle
+/// through `start`, empty if none.
+std::vector<int> find_cycle(
+    const std::map<int, OpenWait>& open,
+    const std::unordered_map<std::uint64_t, int>& in_flight, int start) {
+  std::vector<int> path;
+  std::set<int> seen;
+  int cur = start;
+  while (true) {
+    const auto it = open.find(cur);
+    if (it == open.end()) return {};
+    const auto posted = in_flight.find(it->second.msg_id);
+    if (posted != in_flight.end() && posted->second > 0) return {};
+    if (!seen.insert(cur).second) {
+      // Walked into a loop; the cycle is the path suffix from `cur`.
+      const auto at = std::find(path.begin(), path.end(), cur);
+      return {at, path.end()};
+    }
+    path.push_back(cur);
+    cur = it->second.expected_src;
+  }
+}
+
+Reconstruction reconstruct(const std::vector<Event>& events) {
+  Reconstruction r;
+  std::map<std::pair<kern::NodeId, kern::CpuId>, Occupancy> on_cpu;
+  std::unordered_map<std::int64_t, ReadySpan> ready_since;
+  std::map<int, OpenWait> open_waits;
+  std::unordered_map<std::uint64_t, int> in_flight;  // posted, unconsumed
+  std::set<std::vector<int>> seen_cycles;
+
+  const auto close_ready = [&](const Event& e) {
+    const auto it = ready_since.find(key_of(e.node, e.tid));
+    if (it == ready_since.end()) return;
+    it->second.t1 = e.t;
+    if (it->second.t1 > it->second.t0) r.ready.push_back(it->second);
+    ready_since.erase(it);
+  };
+  const auto close_cpu = [&](kern::NodeId node, kern::CpuId cpu,
+                             sim::Time t) {
+    const auto it = on_cpu.find({node, cpu});
+    if (it == on_cpu.end()) return;
+    it->second.t1 = t;
+    if (it->second.t1 > it->second.t0) r.occupancy.push_back(it->second);
+    on_cpu.erase(it);
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    r.end = e.t;
+    switch (e.kind) {
+      case EventKind::Dispatch: {
+        close_ready(e);
+        close_cpu(e.node, e.cpu, e.t);
+        Occupancy occ;
+        occ.node = e.node;
+        occ.cpu = e.cpu;
+        occ.tid = e.tid;
+        occ.name = trace::display_name(e);
+        occ.cls = e.cls;
+        occ.priority = e.priority;
+        occ.t0 = e.t;
+        on_cpu[{e.node, e.cpu}] = occ;
+        break;
+      }
+      case EventKind::Preempt:
+      case EventKind::Block:
+      case EventKind::Exit:
+        if (e.cpu != kern::kNoCpu) close_cpu(e.node, e.cpu, e.t);
+        break;
+      case EventKind::Idle:
+        close_cpu(e.node, e.cpu, e.t);
+        break;
+      case EventKind::Ready: {
+        ReadySpan span;
+        span.node = e.node;
+        span.tid = e.tid;
+        span.name = trace::display_name(e);
+        span.priority = e.priority;
+        span.t0 = e.t;
+        ready_since[key_of(e.node, e.tid)] = span;
+        break;
+      }
+      case EventKind::MsgSend:
+        note_rank(r, e.src_rank, e);
+        ++in_flight[e.msg_id];
+        break;
+      case EventKind::MsgRecvWait: {
+        note_rank(r, e.dst_rank, e);
+        if (e.dst_rank < 0) break;
+        OpenWait w;
+        w.expected_src = e.src_rank;
+        w.msg_id = e.msg_id;
+        w.t0 = e.t;
+        w.event_index = i;
+        open_waits[e.dst_rank] = w;
+        std::vector<int> cycle = find_cycle(open_waits, in_flight, e.dst_rank);
+        if (!cycle.empty()) {
+          std::rotate(cycle.begin(),
+                      std::min_element(cycle.begin(), cycle.end()),
+                      cycle.end());
+          if (seen_cycles.insert(cycle).second) {
+            WaitCycle wc;
+            wc.ranks = cycle;
+            wc.t = e.t;
+            r.cycles.push_back(std::move(wc));
+          }
+        }
+        break;
+      }
+      case EventKind::MsgRecv: {
+        note_rank(r, e.dst_rank, e);
+        const auto posted = in_flight.find(e.msg_id);
+        if (posted != in_flight.end() && posted->second > 0) --posted->second;
+        const auto it = open_waits.find(e.dst_rank);
+        if (it != open_waits.end() && it->second.msg_id == e.msg_id) {
+          r.waits.push_back({e.dst_rank, it->second, e.t});
+          open_waits.erase(it);
+        }
+        break;
+      }
+    }
+  }
+
+  // Close everything still open at the end of the slice.
+  for (auto& [key, occ] : on_cpu) {
+    occ.t1 = r.end;
+    if (occ.t1 > occ.t0) r.occupancy.push_back(occ);
+  }
+  for (auto& [key, span] : ready_since) {
+    span.t1 = r.end;
+    if (span.t1 > span.t0) r.ready.push_back(span);
+  }
+  for (const auto& [rank, w] : open_waits)
+    r.waits.push_back({rank, w, r.end});
+  return r;
+}
+
+sim::Duration overlap(sim::Time a0, sim::Time a1, sim::Time b0, sim::Time b1) {
+  const sim::Time lo = std::max(a0, b0);
+  const sim::Time hi = std::min(a1, b1);
+  return hi > lo ? hi - lo : sim::Duration::zero();
+}
+
+std::vector<InversionWindow> find_inversions(const Reconstruction& r,
+                                             const AnalyzerOptions& opts) {
+  std::vector<InversionWindow> out;
+  for (const ReadySpan& w : r.ready) {
+    for (const Occupancy& o : r.occupancy) {
+      if (o.node != w.node || o.tid == w.tid) continue;
+      if (o.priority <= w.priority) continue;  // holder must be worse
+      const sim::Time lo = std::max(w.t0, o.t0);
+      const sim::Time hi = std::min(w.t1, o.t1);
+      if (hi <= lo || hi - lo < opts.min_inversion) continue;
+      InversionWindow iv;
+      iv.node = w.node;
+      iv.cpu = o.cpu;
+      iv.waiter_tid = w.tid;
+      iv.waiter = w.name;
+      iv.waiter_priority = w.priority;
+      iv.holder_tid = o.tid;
+      iv.holder = o.name;
+      iv.holder_priority = o.priority;
+      iv.holder_cls = o.cls;
+      iv.start = lo;
+      iv.end = hi;
+      out.push_back(std::move(iv));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const InversionWindow& a, const InversionWindow& b) {
+                     return a.span() > b.span();
+                   });
+  return out;
+}
+
+std::vector<StalledSender> find_stalled_senders(const Reconstruction& r) {
+  std::vector<StalledSender> out;
+  for (const auto& wait : r.waits) {
+    const auto sender_it = r.rank_of.find(wait.open.expected_src);
+    if (sender_it == r.rank_of.end()) continue;
+    const RankIdentity& sender = sender_it->second;
+
+    StalledSender s;
+    s.waiter_rank = wait.waiter_rank;
+    s.expected_src = wait.open.expected_src;
+    s.msg_id = wait.open.msg_id;
+    s.sender_node = sender.node;
+    s.sender_tid = sender.tid;
+    s.sender = sender.name;
+    s.sender_priority = sender.priority;
+    s.wait_start = wait.open.t0;
+    s.wait_end = wait.t1;
+
+    // How long the expected sender sat Ready-but-off-CPU inside the wait,
+    // and the exact stall windows (for holder attribution below).
+    std::vector<std::pair<sim::Time, sim::Time>> stall_windows;
+    for (const ReadySpan& span : r.ready) {
+      if (span.node != sender.node || span.tid != sender.tid) continue;
+      const sim::Time lo = std::max(span.t0, s.wait_start);
+      const sim::Time hi = std::min(span.t1, s.wait_end);
+      if (hi <= lo) continue;
+      s.sender_ready += hi - lo;
+      stall_windows.emplace_back(lo, hi);
+    }
+    if (s.sender_ready <= sim::Duration::zero()) continue;
+
+    // Who held the sender's node while it was stalled — these threads, not
+    // the wait as a whole, are what kept the sender off the CPU.
+    std::set<std::string> holders;
+    for (const Occupancy& o : r.occupancy) {
+      if (o.node != sender.node || o.tid == sender.tid) continue;
+      for (const auto& [lo, hi] : stall_windows) {
+        if (overlap(o.t0, o.t1, lo, hi) > sim::Duration::zero()) {
+          holders.insert(o.name + "(prio " + std::to_string(o.priority) +
+                         ")");
+          break;
+        }
+      }
+    }
+    s.holders.assign(holders.begin(), holders.end());
+    out.push_back(std::move(s));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StalledSender& a, const StalledSender& b) {
+                     return a.sender_ready > b.sender_ready;
+                   });
+  return out;
+}
+
+void verify_cycles(std::vector<WaitCycle>& cycles, const HbGraph& hb) {
+  // Map each cycle rank to the MsgRecvWait event that was open when the
+  // cycle closed; the cycle is genuine when those waits are pairwise
+  // HB-concurrent (no message could have ordered one before another).
+  std::unordered_map<int, std::size_t> last_wait;
+  for (std::size_t i = 0; i < hb.size(); ++i)
+    if (hb.event(i).kind == EventKind::MsgRecvWait &&
+        hb.event(i).dst_rank >= 0)
+      last_wait[hb.event(i).dst_rank] = i;  // latest wins; fine for tests
+  for (WaitCycle& c : cycles) {
+    c.hb_concurrent = true;
+    for (std::size_t a = 0; a < c.ranks.size() && c.hb_concurrent; ++a)
+      for (std::size_t b = a + 1; b < c.ranks.size(); ++b) {
+        const auto ia = last_wait.find(c.ranks[a]);
+        const auto ib = last_wait.find(c.ranks[b]);
+        if (ia == last_wait.end() || ib == last_wait.end() ||
+            !hb.concurrent(ia->second, ib->second)) {
+          c.hb_concurrent = false;
+          break;
+        }
+      }
+  }
+}
+
+}  // namespace
+
+std::string InversionWindow::str() const {
+  std::ostringstream os;
+  os << "node" << node << "/cpu" << cpu << ": " << waiter << "(prio "
+     << waiter_priority << ") ready " << span().str() << " behind " << holder
+     << "(prio " << holder_priority << ", " << kern::to_string(holder_cls)
+     << ") [" << start.str() << ", " << end.str() << ")";
+  return os.str();
+}
+
+std::string StalledSender::str() const {
+  std::ostringstream os;
+  os << "rank" << waiter_rank << " waited on rank" << expected_src << " ("
+     << sender << ", prio " << sender_priority << ") which sat Ready "
+     << sender_ready.str() << " of the " << (wait_end - wait_start).str()
+     << " wait";
+  if (!holders.empty()) {
+    os << "; CPUs held by ";
+    for (std::size_t i = 0; i < holders.size(); ++i)
+      os << (i != 0 ? ", " : "") << holders[i];
+  }
+  return os.str();
+}
+
+std::string WaitCycle::str() const {
+  std::ostringstream os;
+  os << "wait-for cycle at " << t.str() << ": ";
+  for (const int rank : ranks) os << "rank" << rank << " -> ";
+  os << "rank" << ranks.front();
+  os << (hb_concurrent ? " (HB-concurrent)" : " (not HB-verified)");
+  return os.str();
+}
+
+std::vector<Diagnostic> AnalysisReport::diagnostics() const {
+  std::vector<Diagnostic> out;
+  const auto emit = [&](const char* rule, const std::string& subject,
+                        std::string msg, std::string hint) {
+    const RuleInfo* info = find_rule(rule);
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = info != nullptr ? info->severity : Severity::Warning;
+    d.subject = subject;
+    d.message = std::move(msg);
+    d.fix_hint = std::move(hint);
+    out.push_back(std::move(d));
+  };
+  for (std::size_t i = 0; i < inversions.size() && i < options.max_findings;
+       ++i)
+    emit("PSL101", "trace", inversions[i].str(),
+         "big ticks / RT preemption shrink these windows (§3)");
+  for (std::size_t i = 0; i < stalled.size() && i < options.max_findings; ++i)
+    emit("PSL102", "trace", stalled[i].str(),
+         "set favored numerically above the starved thread's priority "
+         "(§5.3) or use spin-block receives");
+  for (std::size_t i = 0; i < cycles.size() && i < options.max_findings; ++i)
+    emit("PSL103", "trace", cycles[i].str(),
+         "a rank cycle of open waits never drains; check message matching "
+         "and co-scheduling windows");
+  return out;
+}
+
+std::string AnalysisReport::str() const {
+  std::ostringstream os;
+  os << "inversion windows: " << inversions.size()
+     << "  stalled senders: " << stalled.size()
+     << "  wait cycles: " << cycles.size() << "\n";
+  for (const Diagnostic& d : diagnostics()) os << "  " << d.str() << "\n";
+  return os.str();
+}
+
+AnalysisReport analyze(std::vector<trace::Event> events,
+                       const AnalyzerOptions& opts) {
+  AnalysisReport report;
+  report.options = opts;
+  const Reconstruction r = reconstruct(events);
+  report.inversions = find_inversions(r, opts);
+  report.stalled = find_stalled_senders(r);
+  report.cycles = r.cycles;
+  if (!report.cycles.empty()) {
+    const HbGraph hb = HbGraph::build(std::move(events));
+    verify_cycles(report.cycles, hb);
+  }
+  return report;
+}
+
+}  // namespace pasched::analysis

@@ -1,0 +1,99 @@
+// The trace analyzer: mines an event slice for the three scheduling
+// pathologies the paper attributes its outliers to.
+//
+//   PSL101  priority-inversion windows — a Ready thread waits while a
+//           numerically-worse-priority thread holds a CPU on its node; the
+//           delayed-preemption window Fig. 4's tails are made of.
+//   PSL102  stalled-sender cascades — an open receive-wait whose expected
+//           sender sits Ready but off-CPU (§5.3: ALE3D's favored spinners
+//           starving mmfsd, the daemon their own I/O was waiting on).
+//   PSL103  wait-for cycles — simultaneously-open receive-waits forming a
+//           rank cycle (§2's cascading spin-wait), cross-checked against
+//           the happens-before graph for genuine concurrency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "analysis/hb.hpp"
+#include "trace/events.hpp"
+
+namespace pasched::analysis {
+
+/// One delayed-preemption window: `waiter` sat Ready on `node` for
+/// [start, end) while `holder` (numerically worse priority) occupied `cpu`.
+struct InversionWindow {
+  kern::NodeId node = -1;
+  kern::CpuId cpu = kern::kNoCpu;
+  int waiter_tid = 0;
+  std::string waiter;
+  kern::Priority waiter_priority = 0;
+  int holder_tid = 0;
+  std::string holder;
+  kern::Priority holder_priority = 0;
+  kern::ThreadClass holder_cls = kern::ThreadClass::Other;
+  sim::Time start;
+  sim::Time end;
+
+  [[nodiscard]] sim::Duration span() const { return end - start; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// One §5.3-style cascade: rank `waiter_rank` waited [wait_start, wait_end)
+/// for a message from `expected_src`, whose thread spent `sender_ready` of
+/// that window Ready but off-CPU; `holders` names who occupied the sender's
+/// node meanwhile.
+struct StalledSender {
+  int waiter_rank = -1;
+  int expected_src = -1;
+  std::uint64_t msg_id = 0;
+  kern::NodeId sender_node = -1;
+  int sender_tid = 0;
+  std::string sender;
+  kern::Priority sender_priority = 0;
+  sim::Time wait_start;
+  sim::Time wait_end;
+  sim::Duration sender_ready = sim::Duration::zero();
+  std::vector<std::string> holders;  // "name(prio N)" on the sender's node
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// A cycle in the instantaneous wait-for graph (rank -> expected source).
+struct WaitCycle {
+  std::vector<int> ranks;  // cycle order, rotated to start at the min rank
+  sim::Time t;             // when the closing wait opened
+  bool hb_concurrent = false;  // waits verified pairwise concurrent
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct AnalyzerOptions {
+  /// Inversion windows shorter than this are dropped (sub-tick waits are
+  /// business as usual, not pathologies worth a report line).
+  sim::Duration min_inversion = sim::Duration::zero();
+  /// Cap per category in str() / diagnostics() output.
+  std::size_t max_findings = 16;
+};
+
+struct AnalysisReport {
+  std::vector<InversionWindow> inversions;  // widest first
+  std::vector<StalledSender> stalled;       // longest sender-ready first
+  std::vector<WaitCycle> cycles;
+  AnalyzerOptions options;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return inversions.empty() && stalled.empty() && cycles.empty();
+  }
+  /// Findings as diagnostics (rules PSL101–PSL103), capped per category.
+  [[nodiscard]] std::vector<Diagnostic> diagnostics() const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Runs all three detectors over a time-ordered event slice.
+[[nodiscard]] AnalysisReport analyze(std::vector<trace::Event> events,
+                                     const AnalyzerOptions& opts = {});
+
+}  // namespace pasched::analysis

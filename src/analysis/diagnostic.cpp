@@ -1,0 +1,122 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pasched::analysis {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info: return "INFO";
+    case Severity::Warning: return "WARNING";
+    case Severity::Error: return "ERROR";
+  }
+  return "?";
+}
+
+const std::vector<RuleInfo>& all_rules() {
+  // The paper's misconfiguration pathologies, one machine-checkable rule
+  // each. Keep in ID order; DESIGN.md §5.4 mirrors this table.
+  static const std::vector<RuleInfo> kRules = {
+      {"PSL001", Severity::Error,
+       "favored priority must be numerically above (worse than) the I/O "
+       "daemon's when the workload depends on I/O",
+       "§5.3 (naive co-scheduling starved GPFS mmfsd and slowed ALE3D)"},
+      {"PSL002", Severity::Error,
+       "the unfavored share of a window must span at least one whole "
+       "(big-)tick",
+       "§3.1.1/§4 (a 250 ms big tick quantizes the unfavored share away)"},
+      {"PSL003", Severity::Error,
+       "the duty cycle must leave a non-zero unfavored share when the "
+       "unfavored priority parks tasks behind every daemon",
+       "§4 (an unguarded duty cycle starves daemons outright)"},
+      {"PSL004", Severity::Error,
+       "the membership heartbeat deadline must exceed the favored stretch "
+       "of a window",
+       "§4 (daemon timeout tolerances had to be extended; eviction risk)"},
+      {"PSL005", Severity::Warning,
+       "the MPI progress-engine polling interval should be raised off the "
+       "storm-prone 400 ms default",
+       "§5.3 (MP_POLLING_INTERVAL=400s neutralized the timer threads)"},
+      {"PSL006", Severity::Error,
+       "window alignment to period boundaries requires clock "
+       "synchronization",
+       "§4 (without sync, aligned windows drift apart across nodes)"},
+      {"PSL007", Severity::Error,
+       "the co-scheduler daemon's own priority must be numerically below "
+       "(better than) the favored priority",
+       "§4 (the flipper must preempt its own favored tasks to end windows)"},
+      {"PSL008", Severity::Warning,
+       "the co-scheduling period should be an integer multiple of the "
+       "(big-)tick interval",
+       "§3.1.1/§4 (timer-driven flips batch to tick boundaries)"},
+      {"PSL009", Severity::Error,
+       "admin (poe.priority) records must be well-formed: favored "
+       "numerically below unfavored, duty in (0,1], period positive, "
+       "priorities in [0,127]",
+       "§4 (/etc/poe.priority admission records)"},
+      {"PSL010", Severity::Warning,
+       "cluster-aligned tick boundaries require synchronized (simultaneous) "
+       "ticks",
+       "§3.2.1/§4 (alignment without simultaneity is incoherent)"},
+      {"PSL011", Severity::Warning,
+       "co-scheduling with RT scheduling needs reverse-preemption IPIs, or "
+       "flips to unfavored only take effect at the next tick",
+       "§3 (deficiency 1 of the stock real-time scheduling option)"},
+      {"PSL012", Severity::Warning,
+       "the preemption IPI latency should be below the tick interval when "
+       "RT scheduling is enabled",
+       "§3 (IPIs slower than the tick add cost without adding promptness)"},
+      {"PSL013", Severity::Error,
+       "co-scheduler priorities must lie in [0,127] with favored "
+       "numerically below unfavored, duty in (0,1], period positive",
+       "§4 (the external co-scheduler's parameter contract)"},
+      // Trace rules (PSL1xx): checked by the happens-before trace analyzer
+      // over an event slice, not by the static config linter.
+      {"PSL101", Severity::Warning,
+       "no ready thread should wait behind a numerically-worse-priority "
+       "CPU holder on its node (delayed-preemption inversion window)",
+       "§2/§5.1 Fig. 4 (tick-granular preemption stretches Allreduce tails)"},
+      {"PSL102", Severity::Warning,
+       "no open receive-wait should have its expected sender sitting Ready "
+       "but off-CPU (stalled-sender cascade)",
+       "§2/§5.3 (spin-waiting tasks starved the very daemon they waited on)"},
+      {"PSL103", Severity::Error,
+       "the instantaneous wait-for graph over open receive-waits must stay "
+       "acyclic",
+       "§2 (cascading spin-wait cycles idle the whole job)"},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(const std::string& id) {
+  const auto& rules = all_rules();
+  const auto it = std::find_if(rules.begin(), rules.end(),
+                               [&](const RuleInfo& r) { return id == r.id; });
+  return it == rules.end() ? nullptr : &*it;
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << rule << ' ' << to_string(severity) << " [" << subject << "] "
+     << message;
+  if (!fix_hint.empty()) os << " (fix: " << fix_hint << ")";
+  return os.str();
+}
+
+bool any_errors(const std::vector<Diagnostic>& ds) noexcept {
+  return std::any_of(ds.begin(), ds.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::Error;
+  });
+}
+
+std::string rule_table() {
+  std::ostringstream os;
+  for (const RuleInfo& r : all_rules()) {
+    os << r.id << "  " << to_string(r.severity) << "\n    invariant: "
+       << r.invariant << "\n    paper:     " << r.paper_ref << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pasched::analysis

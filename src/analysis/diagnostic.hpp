@@ -1,0 +1,49 @@
+// Diagnostic vocabulary shared by the config linter and the trace analyzer:
+// rule identity, severity, message, and fix hint. Every rule encodes one of
+// the paper's hard-won misconfiguration lessons as a machine-checkable
+// invariant; the registry below is the single source of truth for rule IDs,
+// severities, and paper references (DESIGN.md §5.4 renders the same table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasched::analysis {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Static description of one lint rule.
+struct RuleInfo {
+  const char* id;         // "PSL001"
+  Severity severity;      // default severity of its findings
+  const char* invariant;  // the machine-checkable statement
+  const char* paper_ref;  // paper section the pitfall comes from
+};
+
+/// All registered lint rules, in ID order.
+[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+
+/// Lookup by ID; nullptr when unknown.
+[[nodiscard]] const RuleInfo* find_rule(const std::string& id);
+
+/// One finding.
+struct Diagnostic {
+  std::string rule;     // rule ID, e.g. "PSL001"
+  Severity severity = Severity::Warning;
+  std::string subject;  // which config object ("cosched", "tunables", ...)
+  std::string message;  // what is wrong, with the offending values
+  std::string fix_hint; // how to repair it
+
+  [[nodiscard]] std::string str() const;
+};
+
+[[nodiscard]] bool any_errors(const std::vector<Diagnostic>& ds) noexcept;
+
+/// Renders the rule registry as an aligned text table (pasched-lint
+/// --list-rules).
+[[nodiscard]] std::string rule_table();
+
+}  // namespace pasched::analysis

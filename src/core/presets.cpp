@@ -50,4 +50,12 @@ CoschedConfig io_aware_cosched(kern::Priority io_priority) {
   return c;
 }
 
+std::vector<NamedKernelPreset> named_kernel_presets() {
+  return {{"vanilla", vanilla_kernel()}, {"prototype", prototype_kernel()}};
+}
+
+std::vector<NamedCoschedPreset> named_cosched_presets() {
+  return {{"paper", paper_cosched()}, {"io-aware", io_aware_cosched()}};
+}
+
 }  // namespace pasched::core

@@ -8,6 +8,9 @@
 //  * io_aware_cosched() — the ALE3D fix: favored just above mmfsd (41 vs 40).
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/coscheduler.hpp"
 #include "kern/tunables.hpp"
 
@@ -18,5 +21,18 @@ namespace pasched::core {
 
 [[nodiscard]] CoschedConfig paper_cosched();
 [[nodiscard]] CoschedConfig io_aware_cosched(kern::Priority io_priority = 40);
+
+// Enumerable views of every shipped preset, so tooling (pasched-lint, CI,
+// the per-rule lint tests) can sweep them without hardcoding names.
+struct NamedKernelPreset {
+  std::string name;
+  kern::Tunables tunables;
+};
+struct NamedCoschedPreset {
+  std::string name;
+  CoschedConfig config;
+};
+[[nodiscard]] std::vector<NamedKernelPreset> named_kernel_presets();
+[[nodiscard]] std::vector<NamedCoschedPreset> named_cosched_presets();
 
 }  // namespace pasched::core

@@ -516,6 +516,12 @@ std::vector<Thread*> Kernel::threads() const {
   return out;
 }
 
+int Kernel::ready_count() const {
+  std::size_t n = globalq_.size();
+  for (const Cpu& c : cpus_) n += c.runq.size();
+  return static_cast<int>(n);
+}
+
 int Kernel::cpus_running(ThreadClass cls) const {
   int n = 0;
   for (const Cpu& c : cpus_)

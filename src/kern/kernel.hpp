@@ -100,6 +100,9 @@ class Kernel {
   [[nodiscard]] std::vector<Thread*> threads() const;
   /// Number of CPUs currently executing a thread of the given class.
   [[nodiscard]] int cpus_running(ThreadClass c) const;
+  /// Number of Ready threads across all run queues (node-wide queue depth,
+  /// recorded into trace events for the offline analyzers).
+  [[nodiscard]] int ready_count() const;
 
   void set_observer(SchedObserver* obs) noexcept { observer_ = obs; }
 

@@ -93,4 +93,26 @@ std::string render_schedtune(const Tunables& t) {
   return os.str();
 }
 
+std::string describe_tunables(const Tunables& t) {
+  std::ostringstream os;
+  os << "base_tick_interval    " << t.base_tick_interval.str() << "\n"
+     << "big_tick              " << t.big_tick << " (effective tick "
+     << t.tick_interval().str() << ")\n"
+     << "synchronized_ticks    " << (t.synchronized_ticks ? "yes" : "no")
+     << "\n"
+     << "cluster_aligned_ticks " << (t.cluster_aligned_ticks ? "yes" : "no")
+     << "\n"
+     << "rt_scheduling         " << (t.rt_scheduling ? "yes" : "no") << "\n"
+     << "rt_reverse_preemption " << (t.rt_reverse_preemption ? "yes" : "no")
+     << "\n"
+     << "rt_multi_ipi          " << (t.rt_multi_ipi ? "yes" : "no") << "\n"
+     << "ipi_latency           " << t.ipi_latency.str() << "\n"
+     << "daemon_global_queue   " << (t.daemon_global_queue ? "yes" : "no")
+     << "\n"
+     << "timeslice             " << t.timeslice.str() << "\n"
+     << "context_switch_cost   " << t.context_switch_cost.str() << "\n"
+     << "idle_steal            " << (t.idle_steal ? "yes" : "no") << "\n";
+  return os.str();
+}
+
 }  // namespace pasched::kern

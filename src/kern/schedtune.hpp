@@ -31,4 +31,8 @@ void apply_schedtune(Tunables& t, std::string_view options);
 /// apply_schedtune).
 [[nodiscard]] std::string render_schedtune(const Tunables& t);
 
+/// Human-readable multi-line listing of every tunable (the view pasched-lint
+/// prints next to its diagnostics).
+[[nodiscard]] std::string describe_tunables(const Tunables& t);
+
 }  // namespace pasched::kern

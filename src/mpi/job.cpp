@@ -61,6 +61,21 @@ void Job::inject(Task& from, int dst_rank, std::uint64_t tag,
   PASCHED_EXPECTS(dst_rank >= 0 && dst_rank < ntasks());
   Task* dst = tasks_[static_cast<std::size_t>(dst_rank)].get();
   const int src_rank = from.rank();
+  if (elog_ != nullptr) {
+    trace::Event e;
+    e.t = cluster_.engine().now();
+    e.kind = trace::EventKind::MsgSend;
+    e.node = from.node().id();
+    e.cpu = from.thread().running_on();
+    e.tid = from.thread().tid();
+    e.cls = kern::ThreadClass::AppTask;
+    e.priority = from.thread().effective_priority();
+    e.src_rank = src_rank;
+    e.dst_rank = dst_rank;
+    e.msg_id = Task::key_of(src_rank, tag);
+    e.thread = &from.thread();
+    elog_->record(e);
+  }
   cluster_.fabric().send(from.node().id(), dst->node().id(), bytes,
                          [dst, src_rank, tag] { dst->deposit(src_rank, tag); });
 }

@@ -14,6 +14,7 @@
 #include "mpi/hook.hpp"
 #include "mpi/task.hpp"
 #include "mpi/workload.hpp"
+#include "trace/events.hpp"
 #include "util/stats.hpp"
 
 namespace pasched::mpi {
@@ -58,6 +59,13 @@ class Job {
 
   /// Optional co-scheduler wiring; set before launch().
   void set_hook(SchedulerHook* hook) noexcept { hook_ = hook; }
+
+  /// Optional message-event recording (send / recv-wait / recv, with message
+  /// ids) for the offline trace analyzers; set before launch(). Pairs with
+  /// trace::Tracer::set_event_log on the same log to get the full
+  /// happens-before event stream.
+  void set_event_log(trace::EventLog* log) noexcept { elog_ = log; }
+  [[nodiscard]] trace::EventLog* event_log() const noexcept { return elog_; }
 
   /// Registers all tasks with the hook and wakes every task thread (and
   /// progress-engine aux threads, if configured).
@@ -104,6 +112,7 @@ class Job {
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::unique_ptr<AuxThread>> aux_;
   SchedulerHook* hook_ = nullptr;
+  trace::EventLog* elog_ = nullptr;
   std::array<ChannelStats, kMaxChannels> channels_;
   std::unordered_map<std::uint64_t, int> hw_pending_;  // seq -> contributions
   int finished_ = 0;

@@ -57,6 +57,24 @@ void Task::io_complete() {
   node_.kernel().wake(*thread_, kern::kExternalActor);
 }
 
+void Task::log_recv_event(bool wait, int src, std::uint64_t key, Time now) {
+  trace::EventLog* lg = job_.event_log();
+  if (lg == nullptr) return;
+  trace::Event e;
+  e.t = now;
+  e.kind = wait ? trace::EventKind::MsgRecvWait : trace::EventKind::MsgRecv;
+  e.node = node_.id();
+  e.cpu = thread_->running_on();
+  e.tid = thread_->tid();
+  e.cls = kern::ThreadClass::AppTask;
+  e.priority = thread_->effective_priority();
+  e.src_rank = src;
+  e.dst_rank = rank_;
+  e.msg_id = key;
+  e.thread = thread_;
+  lg->record(e);
+}
+
 RunDecision Task::next(Time now) {
   for (;;) {
     if (head_ == queue_.size()) {
@@ -93,6 +111,8 @@ RunDecision Task::next(Time now) {
         }
         const MpiConfig& mc = job_.mpi_config();
         if (try_consume(op.peer, op.tag)) {
+          log_recv_event(/*wait=*/false, op.peer, key_of(op.peer, op.tag),
+                         now);
           wait_key_ = kNoWait;
           charging_ = true;
           sim::Duration cost = mc.o_recv;
@@ -101,6 +121,12 @@ RunDecision Task::next(Time now) {
             cost += mc.wakeup_cost;
           }
           return RunDecision::compute(cost);
+        }
+        if (wait_key_ != key_of(op.peer, op.tag)) {
+          // First visit of this unsatisfied receive: record the wait start
+          // (spin-block re-entry after the threshold burn is not a new wait).
+          log_recv_event(/*wait=*/true, op.peer, key_of(op.peer, op.tag),
+                         now);
         }
         wait_key_ = key_of(op.peer, op.tag);
         if (mc.recv_wait == RecvWait::Spin) return RunDecision::spin();

@@ -45,6 +45,7 @@ class Task final : public kern::ThreadClient {
   friend class Job;
 
   kern::RunDecision next(sim::Time now) override;
+  void log_recv_event(bool wait, int src, std::uint64_t key, sim::Time now);
   /// Exact (collision-free) encoding: 24 bits of source rank, 40 bits of tag.
   [[nodiscard]] static std::uint64_t key_of(int src, std::uint64_t tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |

@@ -26,6 +26,11 @@
 
 #include "trace/trace.hpp"  // IWYU pragma: export
 
+#include "analysis/analyzer.hpp"    // IWYU pragma: export
+#include "analysis/diagnostic.hpp"  // IWYU pragma: export
+#include "analysis/hb.hpp"          // IWYU pragma: export
+#include "analysis/lint.hpp"        // IWYU pragma: export
+
 #include "core/admin.hpp"        // IWYU pragma: export
 #include "core/coscheduler.hpp"  // IWYU pragma: export
 #include "core/presets.hpp"      // IWYU pragma: export

@@ -1,0 +1,41 @@
+#include "trace/events.hpp"
+
+#include <algorithm>
+
+#include "kern/thread.hpp"
+
+namespace pasched::trace {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::Dispatch: return "dispatch";
+    case EventKind::Preempt: return "preempt";
+    case EventKind::Ready: return "ready";
+    case EventKind::Block: return "block";
+    case EventKind::Exit: return "exit";
+    case EventKind::Idle: return "idle";
+    case EventKind::MsgSend: return "send";
+    case EventKind::MsgRecvWait: return "recv-wait";
+    case EventKind::MsgRecv: return "recv";
+  }
+  return "?";
+}
+
+std::string display_name(const Event& e) {
+  if (e.thread != nullptr) return e.thread->name();
+  return "node" + std::to_string(e.node) + "/tid" + std::to_string(e.tid);
+}
+
+std::vector<Event> EventLog::slice(sim::Time t0, sim::Time t1) const {
+  // Events are recorded in nondecreasing time order, so the slice is a
+  // contiguous range.
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), t0,
+      [](const Event& e, sim::Time t) { return e.t < t; });
+  const auto hi = std::lower_bound(
+      lo, events_.end(), t1,
+      [](const Event& e, sim::Time t) { return e.t < t; });
+  return {lo, hi};
+}
+
+}  // namespace pasched::trace

@@ -1,0 +1,89 @@
+// Rich scheduling/messaging event records — the raw material of the offline
+// analyzers in src/analysis/. Where trace::Interval answers "who occupied
+// this CPU", an Event stream answers "why": it keeps the dispatch priority,
+// the node's ready-queue depth, and the message identity at every point
+// where causality can pass between threads (dispatch, preempt, ready, block,
+// send, receive-wait, receive). Events are plain data so tests can hand-build
+// pathological traces without running a simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kern/types.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::trace {
+
+enum class EventKind : std::uint8_t {
+  Dispatch,     // thread began running on (node, cpu)
+  Preempt,      // thread was forced off (node, cpu); it re-entered Ready
+  Ready,        // thread became runnable (wake, preemption, priority flip)
+  Block,        // thread gave up the CPU voluntarily
+  Exit,         // thread finished
+  Idle,         // (node, cpu) went idle
+  MsgSend,      // task injected a message into the fabric
+  MsgRecvWait,  // task started waiting (spin or block) for a message
+  MsgRecv,      // the awaited message was consumed
+};
+
+[[nodiscard]] const char* to_string(EventKind k) noexcept;
+
+/// One analyzer-visible event. Scheduling events carry the thread identity
+/// and its effective dispatch priority at event time plus the node-wide
+/// ready-queue depth; message events additionally carry rank/message ids.
+/// `thread` is an optional back-pointer for nicer reports (threads outlive
+/// the simulation); hand-built traces leave it null.
+struct Event {
+  sim::Time t;
+  EventKind kind = EventKind::Dispatch;
+  kern::NodeId node = -1;
+  kern::CpuId cpu = kern::kNoCpu;
+  int tid = 0;
+  kern::ThreadClass cls = kern::ThreadClass::Other;
+  kern::Priority priority = 0;
+  /// Number of Ready threads on the node at event time (after the event's
+  /// own queue effect) — the "queue depth" behind scheduling decisions.
+  int ready_depth = 0;
+  /// Message fields (MsgSend / MsgRecvWait / MsgRecv only).
+  int src_rank = -1;
+  int dst_rank = -1;
+  std::uint64_t msg_id = 0;
+  const kern::Thread* thread = nullptr;
+};
+
+/// Display name for reports: the live thread's name when available,
+/// otherwise a synthesized "node<N>/tid<T>".
+[[nodiscard]] std::string display_name(const Event& e);
+
+/// Append-only, time-ordered event store. Recording can be gated so long
+/// runs only pay for the windows under investigation (the paper enabled the
+/// AIX trace facility only around the Allreduce loops).
+class EventLog {
+ public:
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void enable() noexcept { enabled_ = true; }
+  void disable() noexcept { enabled_ = false; }
+
+  void record(const Event& e) {
+    if (enabled_) events_.push_back(e);
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Events with t in [t0, t1), preserving order — analyzers that build
+  /// per-event vector clocks should run on a bounded slice, not a full run.
+  [[nodiscard]] std::vector<Event> slice(sim::Time t0, sim::Time t1) const;
+
+ private:
+  std::vector<Event> events_;
+  bool enabled_ = true;
+};
+
+}  // namespace pasched::trace

@@ -17,6 +17,32 @@ void Tracer::attach(kern::Kernel& kernel) {
   const auto node = static_cast<std::size_t>(kernel.node_id());
   if (open_.size() <= node) open_.resize(node + 1);
   open_[node].resize(static_cast<std::size_t>(kernel.ncpus()));
+  if (kernels_.size() <= node) kernels_.resize(node + 1, nullptr);
+  kernels_[node] = &kernel;
+}
+
+int Tracer::ready_depth(kern::NodeId node) const {
+  const auto n = static_cast<std::size_t>(node);
+  if (n >= kernels_.size() || kernels_[n] == nullptr) return 0;
+  return kernels_[n]->ready_count();
+}
+
+void Tracer::log_event(EventKind kind, Time t, kern::NodeId node,
+                       kern::CpuId cpu, const kern::Thread* th) {
+  if (elog_ == nullptr) return;
+  Event e;
+  e.t = t;
+  e.kind = kind;
+  e.node = node;
+  e.cpu = cpu;
+  e.ready_depth = ready_depth(node);
+  if (th != nullptr) {
+    e.tid = th->tid();
+    e.cls = th->cls();
+    e.priority = th->effective_priority();
+    e.thread = th;
+  }
+  elog_->record(e);
 }
 
 Tracer::Open& Tracer::slot(kern::NodeId node, kern::CpuId cpu) {
@@ -63,16 +89,36 @@ void Tracer::on_dispatch(Time t, kern::NodeId node, kern::CpuId cpu,
                          const kern::Thread& th) {
   ++counts_.dispatches;
   if (node_filter_ >= 0 && node != node_filter_) return;
+  log_event(EventKind::Dispatch, t, node, cpu, &th);
   Open& o = slot(node, cpu);
   close_slot(o, t, node, cpu);
   o.thread = &th;
   o.since = t;
 }
 
-void Tracer::on_preempt(Time /*t*/, kern::NodeId node, kern::CpuId /*cpu*/,
-                        const kern::Thread& /*th*/) {
+void Tracer::on_preempt(Time t, kern::NodeId node, kern::CpuId cpu,
+                        const kern::Thread& th) {
   ++counts_.preemptions;
-  (void)node;
+  if (node_filter_ >= 0 && node != node_filter_) return;
+  log_event(EventKind::Preempt, t, node, cpu, &th);
+}
+
+void Tracer::on_state(Time t, kern::NodeId node, const kern::Thread& th,
+                      kern::ThreadState to) {
+  if (node_filter_ >= 0 && node != node_filter_) return;
+  switch (to) {
+    case kern::ThreadState::Ready:
+      log_event(EventKind::Ready, t, node, kern::kNoCpu, &th);
+      break;
+    case kern::ThreadState::Blocked:
+      log_event(EventKind::Block, t, node, kern::kNoCpu, &th);
+      break;
+    case kern::ThreadState::Done:
+      log_event(EventKind::Exit, t, node, kern::kNoCpu, &th);
+      break;
+    case kern::ThreadState::Running:
+      break;  // covered by on_dispatch
+  }
 }
 
 void Tracer::on_tick(Time /*t*/, kern::NodeId /*node*/, kern::CpuId /*cpu*/) {
@@ -85,6 +131,7 @@ void Tracer::on_ipi(Time /*t*/, kern::NodeId /*node*/, kern::CpuId /*cpu*/) {
 
 void Tracer::on_idle(Time t, kern::NodeId node, kern::CpuId cpu) {
   if (node_filter_ >= 0 && node != node_filter_) return;
+  log_event(EventKind::Idle, t, node, cpu, nullptr);
   Open& o = slot(node, cpu);
   close_slot(o, t, node, cpu);
 }

@@ -11,6 +11,7 @@
 
 #include "kern/kernel.hpp"
 #include "sim/time.hpp"
+#include "trace/events.hpp"
 
 namespace pasched::trace {
 
@@ -38,6 +39,12 @@ class Tracer final : public kern::SchedObserver {
   /// Installs this tracer as the observer of the kernel.
   void attach(kern::Kernel& kernel);
 
+  /// Additionally mirrors scheduling events (with priority and ready-queue
+  /// depth) into `log` for the offline analyzers. The log's own enable gate
+  /// applies on top of this tracer's interval gate.
+  void set_event_log(EventLog* log) noexcept { elog_ = log; }
+  [[nodiscard]] EventLog* event_log() const noexcept { return elog_; }
+
   /// Starts/stops interval recording (counts are always maintained).
   void enable(sim::Time now);
   void disable(sim::Time now);
@@ -54,6 +61,8 @@ class Tracer final : public kern::SchedObserver {
                    const kern::Thread& th) override;
   void on_preempt(sim::Time t, kern::NodeId node, kern::CpuId cpu,
                   const kern::Thread& th) override;
+  void on_state(sim::Time t, kern::NodeId node, const kern::Thread& th,
+                kern::ThreadState to) override;
   void on_tick(sim::Time t, kern::NodeId node, kern::CpuId cpu) override;
   void on_ipi(sim::Time t, kern::NodeId node, kern::CpuId cpu) override;
   void on_idle(sim::Time t, kern::NodeId node, kern::CpuId cpu) override;
@@ -65,12 +74,17 @@ class Tracer final : public kern::SchedObserver {
   };
   [[nodiscard]] Open& slot(kern::NodeId node, kern::CpuId cpu);
   void close_slot(Open& o, sim::Time t, kern::NodeId node, kern::CpuId cpu);
+  void log_event(EventKind kind, sim::Time t, kern::NodeId node,
+                 kern::CpuId cpu, const kern::Thread* th);
+  [[nodiscard]] int ready_depth(kern::NodeId node) const;
 
   kern::NodeId node_filter_;
   bool enabled_ = false;
   std::vector<std::vector<Open>> open_;  // [node][cpu]
+  std::vector<const kern::Kernel*> kernels_;  // [node], for queue depth
   std::vector<Interval> intervals_;
   TraceCounts counts_;
+  EventLog* elog_ = nullptr;
 };
 
 /// CPU time by thread within [t0, t1) on one node (or all nodes with -1),

@@ -1,0 +1,212 @@
+// The config linter: every rule fires on a minimal violating configuration
+// and stays silent on every shipped preset combination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/lint.hpp"
+#include "core/presets.hpp"
+
+using namespace pasched;
+using analysis::Diagnostic;
+using analysis::LintConfig;
+using analysis::RuleSelection;
+using analysis::Severity;
+using sim::Duration;
+
+namespace {
+
+bool has_rule(const std::vector<Diagnostic>& ds, const std::string& id) {
+  return std::any_of(ds.begin(), ds.end(),
+                     [&](const Diagnostic& d) { return d.rule == id; });
+}
+
+const Diagnostic& get_rule(const std::vector<Diagnostic>& ds,
+                           const std::string& id) {
+  const auto it = std::find_if(ds.begin(), ds.end(),
+                               [&](const Diagnostic& d) { return d.rule == id; });
+  EXPECT_NE(it, ds.end()) << "rule " << id << " not found";
+  return *it;
+}
+
+/// Prototype kernel + paper co-scheduling, no optional sections: the
+/// canonical clean baseline every violation test perturbs.
+LintConfig clean_base() {
+  LintConfig cfg;
+  cfg.tunables = core::prototype_kernel();
+  cfg.cosched = core::paper_cosched();
+  return cfg;
+}
+
+}  // namespace
+
+TEST(LintPresets, AllShippedCombinationsAreClean) {
+  for (const core::NamedKernelPreset& k : core::named_kernel_presets()) {
+    LintConfig cfg;
+    cfg.tunables = k.tunables;
+    EXPECT_TRUE(analysis::lint(cfg).empty()) << "preset " << k.name;
+    for (const core::NamedCoschedPreset& c : core::named_cosched_presets()) {
+      cfg.cosched = c.config;
+      const auto diags = analysis::lint(cfg);
+      EXPECT_TRUE(diags.empty())
+          << "preset " << k.name << "+" << c.name << ": "
+          << (diags.empty() ? "" : diags.front().str());
+    }
+  }
+}
+
+TEST(LintRules, Psl001FiresOnIoStarvationInversion) {
+  LintConfig cfg = clean_base();  // favored 30, mmfsd 40
+  cfg.workload_uses_io = true;
+  const auto diags = analysis::lint(cfg);
+  ASSERT_TRUE(has_rule(diags, "PSL001"));
+  EXPECT_EQ(get_rule(diags, "PSL001").severity, Severity::Error);
+}
+
+TEST(LintRules, Psl001SilentWithoutIoWorkloadOrWithTunedPriority) {
+  LintConfig cfg = clean_base();
+  EXPECT_FALSE(has_rule(analysis::lint(cfg), "PSL001"));  // collectives only
+  cfg.workload_uses_io = true;
+  cfg.cosched = core::io_aware_cosched(cfg.daemons.io.priority);  // 41 vs 40
+  EXPECT_FALSE(has_rule(analysis::lint(cfg), "PSL001"));
+}
+
+TEST(LintRules, Psl001EqualPriorityIsOnlyAWarning) {
+  LintConfig cfg = clean_base();
+  cfg.workload_uses_io = true;
+  cfg.cosched->favored = cfg.daemons.io.priority;  // tie at 40
+  const auto diags = analysis::lint(cfg);
+  ASSERT_TRUE(has_rule(diags, "PSL001"));
+  EXPECT_EQ(get_rule(diags, "PSL001").severity, Severity::Warning);
+}
+
+TEST(LintRules, Psl002FiresWhenUnfavoredShareIsSubTick) {
+  LintConfig cfg = clean_base();  // 250 ms big tick
+  cfg.cosched->period = Duration::sec(1);
+  cfg.cosched->duty = 0.90;  // 100 ms unfavored share < one 250 ms tick
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL002"));
+}
+
+TEST(LintRules, Psl003FiresWhenDutyLeavesNoUnfavoredShare) {
+  LintConfig cfg = clean_base();
+  cfg.cosched->duty = 1.0;  // valid per PSL013, but the guard is gone
+  const auto diags = analysis::lint(cfg);
+  EXPECT_TRUE(has_rule(diags, "PSL003"));
+  EXPECT_FALSE(has_rule(diags, "PSL013"));
+}
+
+TEST(LintRules, Psl004FiresWhenHeartbeatDeadlineInsideFavoredStretch) {
+  LintConfig cfg = clean_base();  // favored stretch 4.5 s
+  cfg.daemons.heartbeat_deadline = Duration::sec(1);
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL004"));
+}
+
+TEST(LintRules, Psl005FiresOnDefaultPollingInterval) {
+  LintConfig cfg = clean_base();
+  cfg.mpi = mpi::MpiConfig{};  // 400 ms default
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL005"));
+  cfg.mpi->polling_interval = Duration::sec(400);  // the paper's setting
+  EXPECT_FALSE(has_rule(analysis::lint(cfg), "PSL005"));
+}
+
+TEST(LintRules, Psl006FiresOnAlignmentWithoutClockSync) {
+  LintConfig cfg = clean_base();
+  cfg.cosched->sync_clocks = false;
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL006"));
+}
+
+TEST(LintRules, Psl007FiresWhenFlipperCannotPreemptFavoredTasks) {
+  LintConfig cfg = clean_base();
+  cfg.cosched->self_priority = cfg.cosched->favored;
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL007"));
+}
+
+TEST(LintRules, Psl008FiresWhenPeriodIsNotWholeTicks) {
+  LintConfig cfg = clean_base();  // 250 ms tick
+  cfg.cosched->period = Duration::ms(5130);
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL008"));
+}
+
+TEST(LintRules, Psl009FiresOnMalformedAdminRecords) {
+  LintConfig cfg = clean_base();
+  core::AdminFile admin;
+  core::PriorityClass bad;
+  bad.name = "swapped";
+  bad.favored = 100;
+  bad.unfavored = 30;
+  admin.add(bad);
+  cfg.admin = admin;
+  const auto diags = analysis::lint(cfg);
+  ASSERT_TRUE(has_rule(diags, "PSL009"));
+  EXPECT_NE(get_rule(diags, "PSL009").subject.find("swapped"),
+            std::string::npos);
+}
+
+TEST(LintRules, Psl010FiresOnAlignedButUnsynchronizedTicks) {
+  LintConfig cfg;
+  cfg.tunables = core::prototype_kernel();
+  cfg.tunables.synchronized_ticks = false;
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL010"));
+}
+
+TEST(LintRules, Psl011FiresWithoutReversePreemption) {
+  LintConfig cfg = clean_base();
+  cfg.tunables.rt_reverse_preemption = false;
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL011"));
+}
+
+TEST(LintRules, Psl012FiresWhenIpiSlowerThanTick) {
+  LintConfig cfg = clean_base();  // 250 ms tick
+  cfg.tunables.ipi_latency = Duration::ms(300);
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL012"));
+}
+
+TEST(LintRules, Psl013FiresOnContractViolations) {
+  LintConfig cfg = clean_base();
+  cfg.cosched->favored = 110;  // not below unfavored 100
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL013"));
+  cfg = clean_base();
+  cfg.cosched->duty = 0.0;
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL013"));
+  cfg = clean_base();
+  cfg.cosched->period = Duration::zero();
+  EXPECT_TRUE(has_rule(analysis::lint(cfg), "PSL013"));
+}
+
+TEST(LintSelection, ParseAcceptsAllAndIdLists) {
+  EXPECT_TRUE(RuleSelection::parse("all").ids.empty());
+  const RuleSelection sel = RuleSelection::parse("PSL001, PSL010");
+  EXPECT_TRUE(sel.selected("PSL001"));
+  EXPECT_TRUE(sel.selected("PSL010"));
+  EXPECT_FALSE(sel.selected("PSL002"));
+  EXPECT_THROW((void)RuleSelection::parse("PSL999"), std::logic_error);
+}
+
+TEST(LintSelection, FiltersDiagnostics) {
+  LintConfig cfg = clean_base();
+  cfg.workload_uses_io = true;           // would fire PSL001
+  cfg.tunables.rt_reverse_preemption = false;  // would fire PSL011
+  const auto diags = analysis::lint(cfg, RuleSelection::parse("PSL011"));
+  EXPECT_TRUE(has_rule(diags, "PSL011"));
+  EXPECT_FALSE(has_rule(diags, "PSL001"));
+}
+
+TEST(LintVocabulary, RegistryAndRenderingAreConsistent) {
+  for (const analysis::RuleInfo& r : analysis::all_rules()) {
+    EXPECT_EQ(analysis::find_rule(r.id), &r);
+    EXPECT_NE(analysis::rule_table().find(r.id), std::string::npos);
+  }
+  EXPECT_EQ(analysis::find_rule("PSL999"), nullptr);
+
+  Diagnostic d;
+  d.rule = "PSL001";
+  d.severity = Severity::Error;
+  d.subject = "cosched";
+  d.message = "msg";
+  d.fix_hint = "hint";
+  EXPECT_EQ(d.str(), "PSL001 ERROR [cosched] msg (fix: hint)");
+  EXPECT_TRUE(analysis::any_errors({d}));
+  d.severity = Severity::Warning;
+  EXPECT_FALSE(analysis::any_errors({d}));
+}

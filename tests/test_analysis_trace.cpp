@@ -1,0 +1,254 @@
+// The trace analyzer on hand-built pathological traces — the §5.3 mmfsd
+// dependency inversion, a spin-wait wait-for cycle, a classic
+// delayed-preemption window, vector-clock ordering — plus one end-to-end
+// run: a naive tight-window co-scheduling of the synthetic benchmark whose
+// longest communication stall must be attributed to a concrete
+// priority-inversion edge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/hb.hpp"
+#include "apps/aggregate_trace.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "trace/trace.hpp"
+
+using namespace pasched;
+using analysis::AnalysisReport;
+using analysis::HbGraph;
+using sim::Duration;
+using sim::Time;
+using trace::Event;
+using trace::EventKind;
+
+namespace {
+
+Time at(std::int64_t us) { return Time::zero() + Duration::us(us); }
+
+Event ev(EventKind kind, std::int64_t t_us, kern::NodeId node, int tid,
+         kern::Priority prio, kern::CpuId cpu = kern::kNoCpu) {
+  Event e;
+  e.kind = kind;
+  e.t = at(t_us);
+  e.node = node;
+  e.tid = tid;
+  e.priority = prio;
+  e.cpu = cpu;
+  return e;
+}
+
+Event msg(EventKind kind, std::int64_t t_us, kern::NodeId node, int tid,
+          kern::Priority prio, int src_rank, int dst_rank,
+          std::uint64_t msg_id) {
+  Event e = ev(kind, t_us, node, tid, prio);
+  e.src_rank = src_rank;
+  e.dst_rank = dst_rank;
+  e.msg_id = msg_id;
+  return e;
+}
+
+}  // namespace
+
+TEST(HbGraph, VectorClocksOrderSendsBeforeReceives) {
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::Dispatch, 0, 0, 1, 30, 0));   // A runs
+  events.push_back(ev(EventKind::Dispatch, 5, 0, 2, 30, 1));   // B runs
+  events.push_back(msg(EventKind::MsgSend, 10, 0, 1, 30, 0, 1, 77));
+  events.push_back(msg(EventKind::MsgRecv, 20, 0, 2, 30, 0, 1, 77));
+  const HbGraph g = HbGraph::build(events);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.num_threads(), 2);
+  EXPECT_TRUE(g.happens_before(0, 2));   // program order on A
+  EXPECT_TRUE(g.happens_before(2, 3));   // send -> recv
+  EXPECT_TRUE(g.happens_before(0, 3));   // transitively
+  EXPECT_FALSE(g.happens_before(3, 2));
+  EXPECT_FALSE(g.happens_before(1, 2));  // B's dispatch vs A's send
+  EXPECT_TRUE(g.concurrent(0, 1));
+  EXPECT_FALSE(g.concurrent(0, 0));
+}
+
+TEST(HbGraph, UnmatchedReceiveGetsNoCrossEdge) {
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::Dispatch, 0, 0, 1, 30, 0));
+  // The send fell outside the slice: recv of msg 9 has nothing to join.
+  events.push_back(msg(EventKind::MsgRecv, 10, 0, 2, 30, 0, 1, 9));
+  const HbGraph g = HbGraph::build(events);
+  EXPECT_TRUE(g.concurrent(0, 1));
+}
+
+TEST(Analyzer, FindsDelayedPreemptionInversionWindow) {
+  // One CPU: a worse-priority holder keeps running for 4 ms after a
+  // better-priority waiter becomes Ready — the tick-granular window.
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::Dispatch, 0, 0, /*tid=*/2, /*prio=*/100, 0));
+  events.push_back(ev(EventKind::Ready, 1000, 0, /*tid=*/1, /*prio=*/30));
+  events.push_back(ev(EventKind::Ready, 5000, 0, 2, 100));  // enqueue first,
+  events.push_back(ev(EventKind::Preempt, 5000, 0, 2, 100, 0));  // then off
+  events.push_back(ev(EventKind::Dispatch, 5000, 0, 1, 30, 0));
+  events.push_back(ev(EventKind::Exit, 6000, 0, 1, 30, 0));
+
+  const AnalysisReport rep = analysis::analyze(events);
+  ASSERT_FALSE(rep.inversions.empty());
+  const analysis::InversionWindow& iv = rep.inversions.front();
+  EXPECT_EQ(iv.node, 0);
+  EXPECT_EQ(iv.cpu, 0);
+  EXPECT_EQ(iv.waiter_tid, 1);
+  EXPECT_EQ(iv.waiter_priority, 30);
+  EXPECT_EQ(iv.holder_tid, 2);
+  EXPECT_EQ(iv.holder_priority, 100);
+  EXPECT_EQ(iv.span(), Duration::us(4000));
+  EXPECT_NE(iv.str().find("node0/tid1"), std::string::npos);
+}
+
+TEST(Analyzer, MinInversionFiltersShortWindows) {
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::Dispatch, 0, 0, 2, 100, 0));
+  events.push_back(ev(EventKind::Ready, 1000, 0, 1, 30));
+  events.push_back(ev(EventKind::Dispatch, 1200, 0, 1, 30, 0));
+  analysis::AnalyzerOptions opts;
+  opts.min_inversion = Duration::us(500);
+  EXPECT_TRUE(analysis::analyze(events, opts).inversions.empty());
+  opts.min_inversion = Duration::us(100);
+  EXPECT_FALSE(analysis::analyze(events, opts).inversions.empty());
+}
+
+TEST(Analyzer, ReproducesSection53MmfsdStarvation) {
+  // The ALE3D pathology in miniature: a favored (prio 30) task spins on the
+  // only CPU waiting for data that mmfsd (prio 40, pseudo-rank 9) must
+  // produce — but mmfsd sits Ready the whole time because 40 cannot preempt
+  // 30. The wait only drains when the favored window ends.
+  const int task_tid = 1, mmfsd_tid = 5;
+  std::vector<Event> events;
+  events.push_back(ev(EventKind::Dispatch, 0, 0, task_tid, 30, 0));
+  events.push_back(ev(EventKind::Ready, 0, 0, mmfsd_tid, 40));
+  events.push_back(msg(EventKind::MsgRecvWait, 1000, 0, task_tid, 30,
+                       /*src=*/9, /*dst=*/0, /*msg=*/99));
+  // Window flip at t=10ms: the task is preempted, mmfsd finally runs and
+  // delivers, the task's receive completes.
+  events.push_back(ev(EventKind::Ready, 10000, 0, task_tid, 100));
+  events.push_back(ev(EventKind::Preempt, 10000, 0, task_tid, 100, 0));
+  events.push_back(ev(EventKind::Dispatch, 10000, 0, mmfsd_tid, 40, 0));
+  events.push_back(msg(EventKind::MsgSend, 10500, 0, mmfsd_tid, 40, 9, 0, 99));
+  events.push_back(ev(EventKind::Block, 10600, 0, mmfsd_tid, 40, 0));
+  events.push_back(ev(EventKind::Dispatch, 10600, 0, task_tid, 100, 0));
+  events.push_back(msg(EventKind::MsgRecv, 11000, 0, task_tid, 100, 9, 0, 99));
+
+  const AnalysisReport rep = analysis::analyze(events);
+  ASSERT_FALSE(rep.stalled.empty());
+  const analysis::StalledSender& s = rep.stalled.front();
+  EXPECT_EQ(s.waiter_rank, 0);
+  EXPECT_EQ(s.expected_src, 9);
+  EXPECT_EQ(s.sender_tid, mmfsd_tid);
+  EXPECT_EQ(s.sender_priority, 40);
+  // mmfsd sat Ready from the wait's start (1 ms) to the flip (10 ms).
+  EXPECT_EQ(s.sender_ready, Duration::us(9000));
+  // The starving CPU holder is the favored spinner itself.
+  ASSERT_FALSE(s.holders.empty());
+  EXPECT_NE(s.holders.front().find("prio 30"), std::string::npos);
+}
+
+TEST(Analyzer, FindsSpinWaitCycleAndVerifiesConcurrency) {
+  // Two ranks each wait for a message the other never sent (§2's cascading
+  // spin-wait, fully closed): a genuine wait-for cycle.
+  std::vector<Event> events;
+  events.push_back(msg(EventKind::MsgRecvWait, 1000, 0, 1, 30, 1, 0, 11));
+  events.push_back(msg(EventKind::MsgRecvWait, 2000, 1, 2, 30, 0, 1, 22));
+  const AnalysisReport rep = analysis::analyze(events);
+  ASSERT_EQ(rep.cycles.size(), 1u);
+  EXPECT_EQ(rep.cycles[0].ranks, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(rep.cycles[0].hb_concurrent);
+  const auto diags = rep.diagnostics();
+  EXPECT_TRUE(analysis::any_errors(diags));
+  EXPECT_TRUE(std::any_of(diags.begin(), diags.end(),
+                          [](const analysis::Diagnostic& d) {
+                            return d.rule == "PSL103";
+                          }));
+}
+
+TEST(Analyzer, SendrecvExchangeIsNotACycle) {
+  // Both ranks post their sends before waiting — a plain sendrecv exchange.
+  // The mutual wait drains fine and must NOT be reported as a cycle.
+  std::vector<Event> events;
+  events.push_back(msg(EventKind::MsgSend, 1000, 0, 1, 30, 0, 1, 100));
+  events.push_back(msg(EventKind::MsgSend, 2000, 1, 2, 30, 1, 0, 200));
+  events.push_back(msg(EventKind::MsgRecvWait, 3000, 0, 1, 30, 1, 0, 200));
+  events.push_back(msg(EventKind::MsgRecvWait, 4000, 1, 2, 30, 0, 1, 100));
+  events.push_back(msg(EventKind::MsgRecv, 5000, 0, 1, 30, 1, 0, 200));
+  events.push_back(msg(EventKind::MsgRecv, 6000, 1, 2, 30, 0, 1, 100));
+  EXPECT_TRUE(analysis::analyze(events).cycles.empty());
+}
+
+TEST(Analyzer, EmptyTraceIsClean) {
+  const AnalysisReport rep = analysis::analyze({});
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.diagnostics().empty());
+}
+
+// The acceptance scenario: a stock kernel under a deliberately tight naive
+// co-scheduling window running the paper's synthetic benchmark. The event
+// stream must contain Fig-4-style outlier windows, and the analyzer must
+// attribute them to concrete priority-inversion edges.
+TEST(AnalyzerIntegration, AttributesOutlierWindowsInNaiveCoschedRun) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(2);
+  cfg.cluster.seed = 7;
+  cfg.cluster.node.ncpus = 4;
+  cfg.job.ntasks = 8;
+  cfg.job.tasks_per_node = 4;  // fill every CPU: daemons must contend
+  cfg.job.seed = 7;
+  cfg.use_coscheduler = true;
+  cfg.cosched = core::paper_cosched();
+  cfg.cosched.period = Duration::ms(100);  // several flips in a short run
+  cfg.cosched.duty = 0.50;
+
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = 300;
+  at.warmup = Duration::ms(150);
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+
+  trace::EventLog elog;
+  trace::Tracer tracer(/*node_filter=*/-1);
+  for (int n = 0; n < sim.cluster().size(); ++n)
+    tracer.attach(sim.cluster().node(n).kernel());
+  tracer.set_event_log(&elog);
+  tracer.enable(sim.engine().now());
+  sim.job().set_event_log(&elog);
+
+  const core::SimulationResult result = sim.run();
+  ASSERT_TRUE(result.completed);
+  ASSERT_GT(elog.size(), 0u);
+
+  analysis::AnalyzerOptions opts;
+  opts.min_inversion = Duration::us(100);
+  const AnalysisReport rep = analysis::analyze(elog.events(), opts);
+
+  // At least one concrete inversion edge: a better-priority thread sat
+  // Ready behind a named worse-priority CPU holder for a macroscopic span.
+  ASSERT_FALSE(rep.inversions.empty());
+  const analysis::InversionWindow& widest = rep.inversions.front();
+  EXPECT_GT(widest.holder_priority, widest.waiter_priority);
+  EXPECT_GE(widest.span(), Duration::ms(1));
+  EXPECT_FALSE(widest.holder.empty());
+  EXPECT_FALSE(widest.waiter.empty());
+  EXPECT_GE(widest.start, Time::zero());
+  EXPECT_GT(widest.end, widest.start);
+
+  // And the §5.3 signature: some receive-wait outlier is attributed to its
+  // expected sender sitting Ready behind named CPU holders.
+  ASSERT_FALSE(rep.stalled.empty());
+  const analysis::StalledSender& worst = rep.stalled.front();
+  EXPECT_GT(worst.sender_ready, Duration::zero());
+  EXPECT_FALSE(worst.holders.empty());
+  EXPECT_GE(worst.wait_end - worst.wait_start, worst.sender_ready);
+
+  // A healthy Allreduce workload must not produce deadlock cycles.
+  EXPECT_TRUE(rep.cycles.empty());
+
+  // The report renders every finding with its rule ID.
+  const std::string text = rep.str();
+  EXPECT_NE(text.find("PSL101"), std::string::npos);
+  EXPECT_NE(text.find("PSL102"), std::string::npos);
+}

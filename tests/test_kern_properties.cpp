@@ -68,11 +68,8 @@ struct InvariantObserver final : kern::SchedObserver {
     running[&t] = cpu;
     occupant[cpu] = &t;
   }
-  void on_preempt(Time, kern::NodeId, kern::CpuId cpu,
-                  const kern::Thread& t) override {
-    (void)cpu;
-    (void)t;
-  }
+  void on_preempt(Time, kern::NodeId, kern::CpuId,
+                  const kern::Thread&) override {}
   void on_state(Time, kern::NodeId, const kern::Thread& t,
                 kern::ThreadState s) override {
     if (s == kern::ThreadState::Running) return;

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: the repo's .clang-tidy) over every source file in
-# src/ and tools/, using a compile_commands.json exported from a dedicated
-# build tree. Exits non-zero if any diagnostic is emitted — CI treats tidy
-# findings as errors.
+# src/, tools/, tests/ and bench/, using a compile_commands.json exported
+# from a dedicated build tree. Exits non-zero if any diagnostic is emitted —
+# CI treats tidy findings as errors.
 #
 # Usage: tools/run-clang-tidy.sh [build-dir]
 #   CLANG_TIDY=clang-tidy-18 tools/run-clang-tidy.sh   # pick a binary
+#   REQUIRE_TIDY=1 tools/run-clang-tidy.sh             # missing binary = FAIL
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,19 +24,27 @@ find_tidy() {
 }
 
 tidy_bin="$(find_tidy)" || {
+  if [ "${REQUIRE_TIDY:-0}" = "1" ]; then
+    echo "run-clang-tidy.sh: FAIL — no clang-tidy binary found on PATH" >&2
+    echo "(REQUIRE_TIDY=1 forbids skipping; install clang-tidy)" >&2
+    exit 1
+  fi
   echo "run-clang-tidy.sh: SKIP — no clang-tidy binary found on PATH" >&2
-  echo "(install clang-tidy or set CLANG_TIDY=<binary>)" >&2
+  echo "(install clang-tidy, set CLANG_TIDY=<binary>, or REQUIRE_TIDY=1" >&2
+  echo " to make this an error)" >&2
   exit 0
 }
 echo "using $("${tidy_bin}" --version | head -n 1)"
 
+# Tests and benches are analyzed too, so they must be in the compile
+# database.
 cmake -S "${repo_root}" -B "${build_dir}" \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-  -DPASCHED_BUILD_BENCH=OFF -DPASCHED_BUILD_EXAMPLES=OFF \
-  -DPASCHED_BUILD_TESTS=OFF > /dev/null
+  -DPASCHED_BUILD_BENCH=ON -DPASCHED_BUILD_EXAMPLES=OFF \
+  -DPASCHED_BUILD_TESTS=ON > /dev/null
 
 mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
-  -name '*.cpp' | sort)
+  "${repo_root}/tests" "${repo_root}/bench" -name '*.cpp' | sort)
 
 status=0
 for src in "${sources[@]}"; do
