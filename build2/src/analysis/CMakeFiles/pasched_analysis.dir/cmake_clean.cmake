@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/pasched_analysis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/pasched_analysis.dir/diagnostic.cpp.o"
+  "CMakeFiles/pasched_analysis.dir/diagnostic.cpp.o.d"
+  "CMakeFiles/pasched_analysis.dir/hb.cpp.o"
+  "CMakeFiles/pasched_analysis.dir/hb.cpp.o.d"
+  "CMakeFiles/pasched_analysis.dir/lint.cpp.o"
+  "CMakeFiles/pasched_analysis.dir/lint.cpp.o.d"
+  "libpasched_analysis.a"
+  "libpasched_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

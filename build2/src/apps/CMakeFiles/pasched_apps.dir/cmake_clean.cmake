@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_apps.dir/aggregate_trace.cpp.o"
+  "CMakeFiles/pasched_apps.dir/aggregate_trace.cpp.o.d"
+  "CMakeFiles/pasched_apps.dir/ale3d_proxy.cpp.o"
+  "CMakeFiles/pasched_apps.dir/ale3d_proxy.cpp.o.d"
+  "CMakeFiles/pasched_apps.dir/bsp.cpp.o"
+  "CMakeFiles/pasched_apps.dir/bsp.cpp.o.d"
+  "CMakeFiles/pasched_apps.dir/implicit_cg.cpp.o"
+  "CMakeFiles/pasched_apps.dir/implicit_cg.cpp.o.d"
+  "CMakeFiles/pasched_apps.dir/sweep3d_proxy.cpp.o"
+  "CMakeFiles/pasched_apps.dir/sweep3d_proxy.cpp.o.d"
+  "libpasched_apps.a"
+  "libpasched_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_check.dir/audit.cpp.o"
+  "CMakeFiles/pasched_check.dir/audit.cpp.o.d"
+  "libpasched_check.a"
+  "libpasched_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

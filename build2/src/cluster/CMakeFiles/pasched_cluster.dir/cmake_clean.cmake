@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/pasched_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/pasched_cluster.dir/node.cpp.o"
+  "CMakeFiles/pasched_cluster.dir/node.cpp.o.d"
+  "libpasched_cluster.a"
+  "libpasched_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_core.dir/admin.cpp.o"
+  "CMakeFiles/pasched_core.dir/admin.cpp.o.d"
+  "CMakeFiles/pasched_core.dir/coscheduler.cpp.o"
+  "CMakeFiles/pasched_core.dir/coscheduler.cpp.o.d"
+  "CMakeFiles/pasched_core.dir/presets.cpp.o"
+  "CMakeFiles/pasched_core.dir/presets.cpp.o.d"
+  "CMakeFiles/pasched_core.dir/simulation.cpp.o"
+  "CMakeFiles/pasched_core.dir/simulation.cpp.o.d"
+  "libpasched_core.a"
+  "libpasched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daemons/daemon.cpp" "src/daemons/CMakeFiles/pasched_daemons.dir/daemon.cpp.o" "gcc" "src/daemons/CMakeFiles/pasched_daemons.dir/daemon.cpp.o.d"
+  "/root/repo/src/daemons/io_service.cpp" "src/daemons/CMakeFiles/pasched_daemons.dir/io_service.cpp.o" "gcc" "src/daemons/CMakeFiles/pasched_daemons.dir/io_service.cpp.o.d"
+  "/root/repo/src/daemons/registry.cpp" "src/daemons/CMakeFiles/pasched_daemons.dir/registry.cpp.o" "gcc" "src/daemons/CMakeFiles/pasched_daemons.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/kern/CMakeFiles/pasched_kern.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/pasched_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/pasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_daemons.dir/daemon.cpp.o"
+  "CMakeFiles/pasched_daemons.dir/daemon.cpp.o.d"
+  "CMakeFiles/pasched_daemons.dir/io_service.cpp.o"
+  "CMakeFiles/pasched_daemons.dir/io_service.cpp.o.d"
+  "CMakeFiles/pasched_daemons.dir/registry.cpp.o"
+  "CMakeFiles/pasched_daemons.dir/registry.cpp.o.d"
+  "libpasched_daemons.a"
+  "libpasched_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/kernel.cpp" "src/kern/CMakeFiles/pasched_kern.dir/kernel.cpp.o" "gcc" "src/kern/CMakeFiles/pasched_kern.dir/kernel.cpp.o.d"
+  "/root/repo/src/kern/schedtune.cpp" "src/kern/CMakeFiles/pasched_kern.dir/schedtune.cpp.o" "gcc" "src/kern/CMakeFiles/pasched_kern.dir/schedtune.cpp.o.d"
+  "/root/repo/src/kern/thread.cpp" "src/kern/CMakeFiles/pasched_kern.dir/thread.cpp.o" "gcc" "src/kern/CMakeFiles/pasched_kern.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/pasched_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/pasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

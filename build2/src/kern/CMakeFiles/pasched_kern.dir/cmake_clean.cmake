@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_kern.dir/kernel.cpp.o"
+  "CMakeFiles/pasched_kern.dir/kernel.cpp.o.d"
+  "CMakeFiles/pasched_kern.dir/schedtune.cpp.o"
+  "CMakeFiles/pasched_kern.dir/schedtune.cpp.o.d"
+  "CMakeFiles/pasched_kern.dir/thread.cpp.o"
+  "CMakeFiles/pasched_kern.dir/thread.cpp.o.d"
+  "libpasched_kern.a"
+  "libpasched_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_mpi.dir/aux_thread.cpp.o"
+  "CMakeFiles/pasched_mpi.dir/aux_thread.cpp.o.d"
+  "CMakeFiles/pasched_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/pasched_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/pasched_mpi.dir/job.cpp.o"
+  "CMakeFiles/pasched_mpi.dir/job.cpp.o.d"
+  "CMakeFiles/pasched_mpi.dir/task.cpp.o"
+  "CMakeFiles/pasched_mpi.dir/task.cpp.o.d"
+  "libpasched_mpi.a"
+  "libpasched_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_net.dir/clock_sync.cpp.o"
+  "CMakeFiles/pasched_net.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/pasched_net.dir/fabric.cpp.o"
+  "CMakeFiles/pasched_net.dir/fabric.cpp.o.d"
+  "libpasched_net.a"
+  "libpasched_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

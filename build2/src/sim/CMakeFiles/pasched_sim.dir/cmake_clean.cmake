@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_sim.dir/engine.cpp.o"
+  "CMakeFiles/pasched_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pasched_sim.dir/random.cpp.o"
+  "CMakeFiles/pasched_sim.dir/random.cpp.o.d"
+  "CMakeFiles/pasched_sim.dir/time.cpp.o"
+  "CMakeFiles/pasched_sim.dir/time.cpp.o.d"
+  "libpasched_sim.a"
+  "libpasched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

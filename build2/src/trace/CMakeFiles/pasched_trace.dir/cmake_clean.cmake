@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_trace.dir/events.cpp.o"
+  "CMakeFiles/pasched_trace.dir/events.cpp.o.d"
+  "CMakeFiles/pasched_trace.dir/trace.cpp.o"
+  "CMakeFiles/pasched_trace.dir/trace.cpp.o.d"
+  "libpasched_trace.a"
+  "libpasched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpasched_trace.a"
+)

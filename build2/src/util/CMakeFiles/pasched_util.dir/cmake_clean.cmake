@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched_util.dir/config.cpp.o"
+  "CMakeFiles/pasched_util.dir/config.cpp.o.d"
+  "CMakeFiles/pasched_util.dir/flags.cpp.o"
+  "CMakeFiles/pasched_util.dir/flags.cpp.o.d"
+  "CMakeFiles/pasched_util.dir/histogram.cpp.o"
+  "CMakeFiles/pasched_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/pasched_util.dir/stats.cpp.o"
+  "CMakeFiles/pasched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pasched_util.dir/strings.cpp.o"
+  "CMakeFiles/pasched_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pasched_util.dir/table.cpp.o"
+  "CMakeFiles/pasched_util.dir/table.cpp.o.d"
+  "libpasched_util.a"
+  "libpasched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_lint.dir/test_analysis_lint.cpp.o"
+  "CMakeFiles/test_analysis_lint.dir/test_analysis_lint.cpp.o.d"
+  "test_analysis_lint"
+  "test_analysis_lint.pdb"
+  "test_analysis_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

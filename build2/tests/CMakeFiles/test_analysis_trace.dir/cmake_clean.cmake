@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_trace.dir/test_analysis_trace.cpp.o"
+  "CMakeFiles/test_analysis_trace.dir/test_analysis_trace.cpp.o.d"
+  "test_analysis_trace"
+  "test_analysis_trace.pdb"
+  "test_analysis_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

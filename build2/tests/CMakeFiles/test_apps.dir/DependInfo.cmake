@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/test_apps.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/test_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/check/CMakeFiles/pasched_check.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pasched_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/pasched_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/apps/CMakeFiles/pasched_apps.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mpi/CMakeFiles/pasched_mpi.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cluster/CMakeFiles/pasched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build2/src/net/CMakeFiles/pasched_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/daemons/CMakeFiles/pasched_daemons.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/pasched_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/kern/CMakeFiles/pasched_kern.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/pasched_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/pasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

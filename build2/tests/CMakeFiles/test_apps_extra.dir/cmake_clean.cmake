@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_extra.dir/test_apps_extra.cpp.o"
+  "CMakeFiles/test_apps_extra.dir/test_apps_extra.cpp.o.d"
+  "test_apps_extra"
+  "test_apps_extra.pdb"
+  "test_apps_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

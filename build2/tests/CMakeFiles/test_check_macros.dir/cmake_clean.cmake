@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check_macros.dir/test_check_macros.cpp.o"
+  "CMakeFiles/test_check_macros.dir/test_check_macros.cpp.o.d"
+  "test_check_macros"
+  "test_check_macros.pdb"
+  "test_check_macros[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check_macros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check_off.dir/test_check_off.cpp.o"
+  "CMakeFiles/test_check_off.dir/test_check_off.cpp.o.d"
+  "test_check_off"
+  "test_check_off.pdb"
+  "test_check_off[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check_off.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_admin.dir/test_core_admin.cpp.o"
+  "CMakeFiles/test_core_admin.dir/test_core_admin.cpp.o.d"
+  "test_core_admin"
+  "test_core_admin.pdb"
+  "test_core_admin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

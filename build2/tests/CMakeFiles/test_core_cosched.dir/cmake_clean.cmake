@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cosched.dir/test_core_cosched.cpp.o"
+  "CMakeFiles/test_core_cosched.dir/test_core_cosched.cpp.o.d"
+  "test_core_cosched"
+  "test_core_cosched.pdb"
+  "test_core_cosched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern_properties.dir/test_kern_properties.cpp.o"
+  "CMakeFiles/test_kern_properties.dir/test_kern_properties.cpp.o.d"
+  "test_kern_properties"
+  "test_kern_properties.pdb"
+  "test_kern_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern_sched.dir/test_kern_sched.cpp.o"
+  "CMakeFiles/test_kern_sched.dir/test_kern_sched.cpp.o.d"
+  "test_kern_sched"
+  "test_kern_sched.pdb"
+  "test_kern_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kern_ticks.dir/test_kern_ticks.cpp.o"
+  "CMakeFiles/test_kern_ticks.dir/test_kern_ticks.cpp.o.d"
+  "test_kern_ticks"
+  "test_kern_ticks.pdb"
+  "test_kern_ticks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kern_ticks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

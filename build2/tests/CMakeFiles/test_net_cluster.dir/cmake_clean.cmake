@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_cluster.dir/test_net_cluster.cpp.o"
+  "CMakeFiles/test_net_cluster.dir/test_net_cluster.cpp.o.d"
+  "test_net_cluster"
+  "test_net_cluster.pdb"
+  "test_net_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_callback.dir/test_sim_callback.cpp.o"
+  "CMakeFiles/test_sim_callback.dir/test_sim_callback.cpp.o.d"
+  "test_sim_callback"
+  "test_sim_callback.pdb"
+  "test_sim_callback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_callback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_util_stats[1]_include.cmake")
+include("/root/repo/build2/tests/test_util_config[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim_callback[1]_include.cmake")
+include("/root/repo/build2/tests/test_kern_sched[1]_include.cmake")
+include("/root/repo/build2/tests/test_kern_properties[1]_include.cmake")
+include("/root/repo/build2/tests/test_kern_ticks[1]_include.cmake")
+include("/root/repo/build2/tests/test_check[1]_include.cmake")
+include("/root/repo/build2/tests/test_check_macros[1]_include.cmake")
+include("/root/repo/build2/tests/test_check_off[1]_include.cmake")
+include("/root/repo/build2/tests/test_daemons[1]_include.cmake")
+include("/root/repo/build2/tests/test_net_cluster[1]_include.cmake")
+include("/root/repo/build2/tests/test_mpi_collectives[1]_include.cmake")
+include("/root/repo/build2/tests/test_mpi_runtime[1]_include.cmake")
+include("/root/repo/build2/tests/test_trace[1]_include.cmake")
+include("/root/repo/build2/tests/test_analysis_lint[1]_include.cmake")
+include("/root/repo/build2/tests/test_analysis_trace[1]_include.cmake")
+include("/root/repo/build2/tests/test_core_admin[1]_include.cmake")
+include("/root/repo/build2/tests/test_core_cosched[1]_include.cmake")
+include("/root/repo/build2/tests/test_core_simulation[1]_include.cmake")
+include("/root/repo/build2/tests/test_apps[1]_include.cmake")
+include("/root/repo/build2/tests/test_apps_extra[1]_include.cmake")
+include("/root/repo/build2/tests/test_integration[1]_include.cmake")
+include("/root/repo/build2/tests/test_extensions[1]_include.cmake")

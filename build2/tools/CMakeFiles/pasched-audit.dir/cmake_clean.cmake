@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched-audit.dir/pasched_audit.cpp.o"
+  "CMakeFiles/pasched-audit.dir/pasched_audit.cpp.o.d"
+  "pasched-audit"
+  "pasched-audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched-audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasched-lint.dir/pasched_lint.cpp.o"
+  "CMakeFiles/pasched-lint.dir/pasched_lint.cpp.o.d"
+  "pasched-lint"
+  "pasched-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasched-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
