@@ -4,6 +4,7 @@
 
 #include "check/check.hpp"
 #include "check/transitions.hpp"
+#include "sim/choice.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::kern {
@@ -43,6 +44,18 @@ Kernel::~Kernel() = default;
 void Kernel::start() {
   PASCHED_EXPECTS_MSG(!started_, "Kernel::start called twice");
   started_ = true;
+  // Tick-stagger choice point: under a model checker the node's boot-time
+  // tick skew is one of kTickPhaseBuckets explorable phases rather than a
+  // seed-derived accident. Gated on !cluster_aligned_ticks so configs that
+  // align ticks (and runs without a ChoiceSource) keep the seeded behavior
+  // and contribute no spurious branches to the choice tree.
+  if (!tun_.cluster_aligned_ticks && engine_.choice_source() != nullptr) {
+    const std::size_t bucket = engine_.choice_source()->choose(
+        kTickPhaseBuckets, "kern.tick_phase");
+    unaligned_phase_ = tun_.tick_interval() *
+                       static_cast<std::int64_t>(bucket) /
+                       static_cast<std::int64_t>(kTickPhaseBuckets);
+  }
   last_decay_ = local_now();
   for (CpuId c = 0; c < ncpus(); ++c) arm_tick(c);
 }

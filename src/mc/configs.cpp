@@ -1,0 +1,264 @@
+#include "mc/configs.hpp"
+
+#include <memory>
+
+#include "daemons/daemon.hpp"
+#include "kern/tunables.hpp"
+#include "sim/random.hpp"
+
+namespace pasched::mc {
+
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+/// Computes one burst, then exits. The workhorse client of every scenario.
+struct BurstExitClient final : kern::ThreadClient {
+  Duration burst = Duration::ms(1);
+  int calls = 0;
+  kern::RunDecision next(Time /*now*/) override {
+    if (++calls == 1) return kern::RunDecision::compute(burst);
+    return kern::RunDecision::exit();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lost-wakeup
+// ---------------------------------------------------------------------------
+
+/// The planted TOCTOU: the producer reads the consumer's state (sig1) and
+/// applies the wake decision (sig2) in two separate same-timestamp engine
+/// events. If the consumer's block lands between them, the producer saw
+/// Running, decided no wake was needed, and the set flag is never noticed —
+/// the consumer blocks forever. Default FIFO order is clean; the explorer
+/// must find the one interleaving that loses the wakeup.
+class LostWakeupModel final : public KernelModel {
+ public:
+  LostWakeupModel() {
+    kern::Tunables tun;
+    tun.cluster_aligned_ticks = true;  // no tick-phase choice point
+    tun.context_switch_cost = Duration::zero();  // keep the tie at exactly 2ms
+    kernel_ = &add_kernel(/*node=*/0, /*ncpus=*/2, tun);
+    kern::ThreadSpec ts;
+    ts.name = "consumer";
+    ts.cls = kern::ThreadClass::AppTask;
+    client_.m = this;
+    consumer_ = &kernel_->create_thread(std::move(ts), client_);
+    require_done(*consumer_);
+  }
+
+  void setup() override {
+    kernel_->start();
+    kernel_->wake(*consumer_);  // dispatches at t=0, computes until t=2ms
+    // Arm the producer from an intermediate event so its heap seq lands
+    // *after* the consumer's burst-completion seq: the default FIFO order
+    // (block, then read-state, then wake) is then the clean one.
+    engine_.schedule_at(at(Duration::us(1500)),
+                        [this] { engine_.schedule_at(at(kRace), [this] { sig1(); }); });
+  }
+
+  [[nodiscard]] Time horizon() const override { return at(Duration::ms(4)); }
+
+ private:
+  static constexpr Duration kRace = Duration::ms(2);
+  [[nodiscard]] static Time at(Duration d) { return Time::zero() + d; }
+
+  void sig1() {
+    // Time-of-check: is the consumer already asleep?
+    need_wake_ = consumer_->state() == kern::ThreadState::Blocked;
+    engine_.schedule_at(engine_.now(), [this] { sig2(); });
+  }
+  void sig2() {
+    // Time-of-use: publish the flag; wake only if sig1 saw it blocked.
+    flag_ = true;
+    if (need_wake_) kernel_->wake(*consumer_);
+  }
+
+  struct ConsumerClient final : kern::ThreadClient {
+    LostWakeupModel* m = nullptr;
+    int calls = 0;
+    kern::RunDecision next(Time /*now*/) override {
+      if (++calls == 1) return kern::RunDecision::compute(kRace);
+      // Re-check the flag only on wakeup — the missing "double check
+      // before sleeping" is the planted bug's other half.
+      return m->flag_ ? kern::RunDecision::exit()
+                      : kern::RunDecision::block();
+    }
+  };
+
+  kern::Kernel* kernel_ = nullptr;
+  kern::Thread* consumer_ = nullptr;
+  ConsumerClient client_{};
+  bool flag_ = false;
+  bool need_wake_ = false;
+
+  friend struct ConsumerClient;
+};
+
+// ---------------------------------------------------------------------------
+// starvation
+// ---------------------------------------------------------------------------
+
+/// §5.3 in miniature: two fixed-priority-30 "favored" threads hog both CPUs
+/// from t=2.5ms on; a priority-40 daemon activates at a tick boundary
+/// chosen by the arrival-phase choice point (period 8ms / 4 buckets). The
+/// phases that activate before the favored threads wake complete cleanly;
+/// the one that lands mid-hog leaves the daemon Ready past the liveness
+/// window until the horizon — unbounded starvation, found exhaustively.
+class StarvationModel final : public KernelModel {
+ public:
+  StarvationModel() {
+    kern::Tunables tun;
+    tun.base_tick_interval = Duration::ms(1);
+    tun.synchronized_ticks = true;   // both CPUs tick together (more ties)
+    tun.cluster_aligned_ticks = true;
+    tun.context_switch_cost = Duration::zero();
+    kernel_ = &add_kernel(/*node=*/0, /*ncpus=*/2, tun);
+    for (int i = 0; i < 2; ++i) {
+      auto client = std::make_unique<BurstExitClient>();
+      client->burst = Duration::ms(20);  // well past the horizon: a hog
+      kern::ThreadSpec ts;
+      ts.name = "favored[" + std::to_string(i) + "]";
+      ts.cls = kern::ThreadClass::AppTask;
+      ts.base_priority = 30;
+      ts.fixed_priority = true;
+      favored_.push_back(&kernel_->create_thread(std::move(ts), *client));
+      clients_.push_back(std::move(client));
+    }
+    daemons::DaemonSpec ds;
+    ds.name = "gpfsd";
+    ds.priority = 40;
+    ds.period = Duration::ms(8);
+    ds.period_jitter = 0.0;
+    ds.burst_median = Duration::us(300);
+    ds.burst_sigma = 0.05;
+    ds.cold_fault_factor = 0.0;
+    ds.first_due = Duration::ns(-1);  // negative: arrival-phase choice point
+    daemon_ = std::make_unique<daemons::Daemon>(*kernel_, ds, sim::Rng(42),
+                                                /*first_cpu=*/0);
+  }
+
+  void setup() override {
+    kernel_->start();
+    daemon_->start();  // consumes the arrival-phase choice
+    engine_.schedule_at(Time::zero() + Duration::us(2500), [this] {
+      for (kern::Thread* t : favored_) kernel_->wake(*t);
+    });
+  }
+
+  [[nodiscard]] Time horizon() const override {
+    return Time::zero() + Duration::ms(7);
+  }
+  [[nodiscard]] Duration liveness_window() const override {
+    return Duration::ms(2);
+  }
+  /// Divergence metric: CPU the daemon actually got — zero when starved,
+  /// a full burst when it slipped in before the hogs.
+  [[nodiscard]] double outcome() const override {
+    double s = 0.0;
+    for (const kern::Thread* t : kernel_->threads())
+      if (t->cls() == kern::ThreadClass::Daemon)
+        s += t->total_cpu().to_seconds();
+    return s;
+  }
+
+ private:
+  kern::Kernel* kernel_ = nullptr;
+  std::vector<kern::Thread*> favored_;
+  std::vector<std::unique_ptr<BurstExitClient>> clients_;
+  std::unique_ptr<daemons::Daemon> daemon_;
+};
+
+// ---------------------------------------------------------------------------
+// clean
+// ---------------------------------------------------------------------------
+
+/// 2 nodes × 4 CPUs, two app threads per node plus one daemon with an
+/// explorable arrival phase, and synchronized cluster-aligned ticks (so
+/// same-timestamp tick ties exist on all 8 CPUs). No planted bug: every
+/// interleaving must complete, stay live, and pass the safety audits.
+class CleanModel final : public KernelModel {
+ public:
+  CleanModel() {
+    kern::Tunables tun;
+    tun.base_tick_interval = Duration::ms(2);
+    tun.synchronized_ticks = true;
+    tun.cluster_aligned_ticks = true;
+    tun.context_switch_cost = Duration::zero();
+    for (int node = 0; node < 2; ++node) {
+      kern::Kernel& k = add_kernel(node, /*ncpus=*/4, tun);
+      nodes_.push_back(&k);
+      for (int i = 0; i < 2; ++i) {
+        auto client = std::make_unique<BurstExitClient>();
+        client->burst = Duration::us(500);
+        kern::ThreadSpec ts;
+        ts.name = "task[" + std::to_string(node) + "." + std::to_string(i) +
+                  "]";
+        ts.cls = kern::ThreadClass::AppTask;
+        kern::Thread& t = k.create_thread(std::move(ts), *client);
+        apps_.push_back(&t);
+        require_done(t);
+        clients_.push_back(std::move(client));
+      }
+    }
+    daemons::DaemonSpec ds;
+    ds.name = "syncd";
+    ds.priority = 50;
+    ds.period = Duration::ms(10);
+    ds.period_jitter = 0.0;
+    ds.burst_median = Duration::us(200);
+    ds.burst_sigma = 0.05;
+    ds.cold_fault_factor = 0.0;
+    ds.first_due = Duration::ns(-1);  // explorable arrival phase, all clean
+    daemon_ = std::make_unique<daemons::Daemon>(*nodes_[0], ds, sim::Rng(7),
+                                                /*first_cpu=*/0);
+  }
+
+  void setup() override {
+    for (kern::Kernel* k : nodes_) k->start();
+    daemon_->start();
+    for (std::size_t i = 0; i < apps_.size(); ++i)
+      nodes_[i / 2]->wake(*apps_[i]);
+  }
+
+  [[nodiscard]] Time horizon() const override {
+    return Time::zero() + Duration::ms(5);
+  }
+  [[nodiscard]] Duration liveness_window() const override {
+    return Duration::ms(2);
+  }
+
+ private:
+  std::vector<kern::Kernel*> nodes_;
+  std::vector<kern::Thread*> apps_;
+  std::vector<std::unique_ptr<BurstExitClient>> clients_;
+  std::unique_ptr<daemons::Daemon> daemon_;
+};
+
+}  // namespace
+
+const std::vector<NamedModel>& model_zoo() {
+  static const std::vector<NamedModel> zoo = {
+      {"lost-wakeup",
+       "planted TOCTOU wakeup race (completion oracle must catch it)",
+       [] { return std::unique_ptr<Model>(new LostWakeupModel()); }},
+      {"starvation",
+       "planted favored-vs-daemon starvation, arrival-phase dependent "
+       "(liveness oracle must catch it)",
+       [] { return std::unique_ptr<Model>(new StarvationModel()); }},
+      {"clean",
+       "2 nodes x 4 CPUs, app threads + daemon, no planted bug (must "
+       "certify exhaustively)",
+       [] { return std::unique_ptr<Model>(new CleanModel()); }},
+  };
+  return zoo;
+}
+
+ModelFactory find_model(const std::string& name) {
+  for (const NamedModel& m : model_zoo())
+    if (m.name == name) return m.make;
+  return {};
+}
+
+}  // namespace pasched::mc

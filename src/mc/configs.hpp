@@ -1,0 +1,37 @@
+// The model zoo: small, fully explorable scenarios for pasched-mc. Two of
+// them carry planted order-dependent bugs (regression anchors for the
+// explorer's oracles); the third is a clean 2-node × 4-CPU configuration
+// the checker must certify exhaustively within the default budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/model.hpp"
+
+namespace pasched::mc {
+
+struct NamedModel {
+  std::string name;
+  std::string description;
+  ModelFactory make;
+};
+
+/// All shipped scenarios:
+///  * "lost-wakeup"  — a producer reads the consumer's state in one engine
+///    event and applies the wake decision in a second (the classic TOCTOU
+///    window); one same-timestamp ordering loses the wakeup and the
+///    consumer blocks forever. Found by the completion oracle.
+///  * "starvation"   — the §5.3 trap in miniature: fixed-priority favored
+///    threads (30) hog every CPU while a priority-40 daemon sits Ready
+///    unboundedly. Whether it starves depends on the daemon's arrival
+///    phase, an explorable choice point. Found by the liveness oracle.
+///  * "clean"        — 2 nodes × 4 CPUs, app threads plus one daemon, no
+///    planted bug: every interleaving completes, stays live, and satisfies
+///    the safety audits. Must certify within the default budget.
+[[nodiscard]] const std::vector<NamedModel>& model_zoo();
+
+/// Factory for a named scenario; an empty function if the name is unknown.
+[[nodiscard]] ModelFactory find_model(const std::string& name);
+
+}  // namespace pasched::mc

@@ -1,0 +1,317 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/hb.hpp"
+#include "check/check.hpp"
+#include "sim/random.hpp"
+#include "util/assert.hpp"
+
+namespace pasched::mc {
+
+namespace {
+
+/// Mixes one decided choice into the running pre-choice hash so that
+/// several choices consumed within the same engine step (e.g. during
+/// setup) get distinct, path-dependent pre-states for visited pruning.
+std::uint64_t mix_choice(std::uint64_t h, const Choice& c) {
+  std::uint64_t state = h;
+  for (const char ch : c.tag)
+    state ^= static_cast<std::uint64_t>(ch) * 0x100000001b3ULL;
+  state ^= (static_cast<std::uint64_t>(c.arity) << 32) ^
+           static_cast<std::uint64_t>(c.pick);
+  return sim::splitmix64(state);
+}
+
+constexpr const char* kTieBreakTag = "engine.tiebreak";
+
+}  // namespace
+
+const char* to_string(Oracle o) noexcept {
+  switch (o) {
+    case Oracle::Safety: return "safety";
+    case Oracle::Liveness: return "liveness";
+    case Oracle::Completion: return "completion";
+    case Oracle::Divergence: return "divergence";
+  }
+  return "?";
+}
+
+Explorer::Explorer(ModelFactory factory, ExploreOptions opts)
+    : factory_(std::move(factory)), opts_(opts) {}
+
+sim::Duration Explorer::effective_window(const Model& m) const {
+  if (opts_.liveness_window < sim::Duration::zero())
+    return m.liveness_window();
+  return opts_.liveness_window;  // zero disables
+}
+
+double Explorer::effective_tolerance(const Model& m) const {
+  if (opts_.divergence_tolerance < 0.0) return m.divergence_tolerance();
+  return opts_.divergence_tolerance;  // zero disables
+}
+
+RunRecord Explorer::run_schedule(const Schedule& prefix) {
+  RunRecord rec;
+  GuidedSource src(prefix);
+  RecordingTieBreak tb(src);
+  std::unique_ptr<Model> model = factory_();
+  sim::Engine& eng = model->engine();
+  eng.set_choice_source(&src);
+  eng.set_tie_break(&tb);
+  const sim::Time horizon = model->horizon();
+  std::optional<Violation> violation;
+  std::size_t decided = 0;
+  // Assigns pre-choice hashes for every decision consumed since the last
+  // quiescent point, chaining same-step choices together.
+  const auto absorb_choices = [&](std::uint64_t quiescent_hash) {
+    std::uint64_t h = quiescent_hash;
+    for (; decided < src.decisions(); ++decided) {
+      rec.pre_hash.push_back(h);
+      h = mix_choice(h, src.trace().at(decided));
+    }
+  };
+  try {
+    const std::uint64_t h0 = model->state_hash();
+    model->setup();
+    absorb_choices(h0);
+    model->check_safety();
+    while (true) {
+      const sim::Time next = eng.next_event_time();
+      if (next == sim::Time::max() || next > horizon) break;
+      const std::uint64_t h = model->state_hash();
+      const std::size_t elog_before = model->event_log().size();
+      eng.step();
+      ++stats_.steps;
+      model->after_step(eng.now());
+      model->check_safety();
+      absorb_choices(h);
+      rec.window_of_seq[eng.last_fired_seq()] = {elog_before,
+                                                model->event_log().size()};
+    }
+  } catch (const check::CheckError& e) {
+    violation = Violation{Oracle::Safety, e.what(), Schedule{}};
+  }
+  rec.trace = src.trace();
+  rec.pre_hash.resize(rec.trace.size(), 0);
+  rec.tie_seqs.resize(rec.trace.size());
+  {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < rec.trace.size(); ++i) {
+      if (rec.trace.at(i).tag == kTieBreakTag && k < tb.tie_seqs().size())
+        rec.tie_seqs[i] = tb.tie_seqs()[k++];
+    }
+  }
+  rec.events = model->event_log().events();
+  if (!violation) {
+    const sim::Duration window = effective_window(*model);
+    if (window > sim::Duration::zero())
+      violation = check_liveness(rec, window, horizon);
+  }
+  if (!violation) {
+    if (auto msg = model->check_completion())
+      violation = Violation{Oracle::Completion, *msg, Schedule{}};
+  }
+  rec.outcome = model->outcome();
+  if (violation) {
+    violation->schedule = rec.trace;
+    rec.violation = std::move(violation);
+  }
+  return rec;
+}
+
+std::optional<Violation> Explorer::check_liveness(const RunRecord& r,
+                                                  sim::Duration window,
+                                                  sim::Time horizon) const {
+  const std::vector<trace::Event>& ev = r.events;
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].kind != trace::EventKind::Ready) continue;
+    sim::Time dispatched_at = horizon;
+    for (std::size_t j = i + 1; j < ev.size(); ++j) {
+      if (ev[j].kind == trace::EventKind::Dispatch &&
+          ev[j].node == ev[i].node && ev[j].tid == ev[i].tid) {
+        dispatched_at = ev[j].t;
+        break;
+      }
+    }
+    const sim::Duration gap = dispatched_at - ev[i].t;
+    if (gap > window) {
+      return Violation{
+          Oracle::Liveness,
+          "thread tid " + std::to_string(ev[i].tid) + " on node " +
+              std::to_string(ev[i].node) + " became ready at " +
+              ev[i].t.str() + " and was not dispatched within " +
+              window.str() + " (starved for " + gap.str() + ")",
+          Schedule{}};
+    }
+  }
+  return std::nullopt;
+}
+
+bool Explorer::independent_alternative(const RunRecord& r,
+                                       std::size_t choice_idx,
+                                       std::size_t alt) const {
+  const std::vector<std::uint64_t>& seqs = r.tie_seqs[choice_idx];
+  const std::size_t taken = r.trace.at(choice_idx).pick;
+  if (taken >= seqs.size() || alt >= seqs.size()) return false;
+  const auto wa = r.window_of_seq.find(seqs[taken]);
+  const auto wb = r.window_of_seq.find(seqs[alt]);
+  // A candidate that never fired (cancelled before its turn) cannot be
+  // judged from this run — conservatively dependent.
+  if (wa == r.window_of_seq.end() || wb == r.window_of_seq.end())
+    return false;
+  const auto [a0, a1] = wa->second;
+  const auto [b0, b1] = wb->second;
+  const bool a_empty = a0 == a1;
+  const bool b_empty = b0 == b1;
+  // Neither step produced an observable scheduling event (typically two
+  // ticks with no callout work): treated as commuting. This is the "lite"
+  // approximation — internal accounting may still differ, which the
+  // divergence oracle cross-checks.
+  if (a_empty && b_empty) return true;
+  if (a_empty || b_empty) return false;
+  // Footprint disjointness over (node, tid) and (node, cpu).
+  const auto keys = [&](std::size_t b, std::size_t e) {
+    std::set<std::int64_t> s;
+    for (std::size_t i = b; i < e; ++i) {
+      const trace::Event& ev = r.events[i];
+      if (ev.kind != trace::EventKind::Idle)
+        s.insert((static_cast<std::int64_t>(ev.node) << 24) | ev.tid);
+      if (ev.cpu != kern::kNoCpu)
+        s.insert((1LL << 62) | (static_cast<std::int64_t>(ev.node) << 24) |
+                 ev.cpu);
+    }
+    return s;
+  };
+  const std::set<std::int64_t> ka = keys(a0, a1);
+  for (const std::int64_t k : keys(b0, b1))
+    if (ka.count(k) != 0) return false;
+  // Happens-before concurrence: no causal edge may connect the windows.
+  const analysis::HbGraph hb = analysis::HbGraph::build(r.events);
+  for (std::size_t a = a0; a < a1; ++a) {
+    if (hb.thread_of(a) < 0) continue;
+    for (std::size_t b = b0; b < b1; ++b) {
+      if (hb.thread_of(b) < 0) continue;
+      if (hb.happens_before(a, b) || hb.happens_before(b, a)) return false;
+    }
+  }
+  return true;
+}
+
+void Explorer::expand(const RunRecord& r, std::size_t prefix_len,
+                      std::vector<Schedule>& stack) {
+  std::vector<Schedule> found;
+  for (std::size_t i = prefix_len; i < r.trace.size(); ++i) {
+    if (opts_.prune && !visited_.insert(r.pre_hash[i]).second) {
+      // This state was already expanded from another path; the subtree
+      // from here on is identical (modulo hash collisions).
+      ++stats_.visited_prunes;
+      break;
+    }
+    if (i >= opts_.max_depth) {
+      stats_.clipped = true;
+      break;
+    }
+    const Choice& c = r.trace.at(i);
+    for (std::size_t alt = 0; alt < c.arity; ++alt) {
+      if (alt == c.pick) continue;
+      if (opts_.reduce && !r.tie_seqs[i].empty() &&
+          independent_alternative(r, i, alt)) {
+        ++stats_.dpor_skips;
+        continue;
+      }
+      ++stats_.branches;
+      Schedule s = r.trace.prefix(i + 1);
+      s.at(i).pick = alt;
+      found.push_back(std::move(s));
+    }
+  }
+  // Push in reverse so the shallowest/leftmost alternative pops first.
+  for (auto it = found.rbegin(); it != found.rend(); ++it)
+    stack.push_back(std::move(*it));
+}
+
+ExploreResult Explorer::explore() {
+  stats_ = ExploreStats{};
+  visited_.clear();
+  ExploreResult res;
+  double tol = 0.0;
+  {
+    const std::unique_ptr<Model> probe = factory_();
+    tol = effective_tolerance(*probe);
+  }
+  bool have_outcome = false;
+  std::vector<Schedule> stack;
+  stack.push_back(Schedule{});
+  while (!stack.empty()) {
+    if (stats_.runs >= opts_.max_runs) {
+      stats_.clipped = true;
+      break;
+    }
+    const Schedule prefix = std::move(stack.back());
+    stack.pop_back();
+    const std::size_t prefix_len = prefix.size();
+    RunRecord rec = run_schedule(prefix);
+    ++stats_.runs;
+    if (rec.violation) {
+      res.violation = std::move(rec.violation);
+      break;
+    }
+    if (!have_outcome) {
+      res.min_outcome = res.max_outcome = rec.outcome;
+      have_outcome = true;
+    } else {
+      res.min_outcome = std::min(res.min_outcome, rec.outcome);
+      res.max_outcome = std::max(res.max_outcome, rec.outcome);
+    }
+    if (tol > 0.0 && res.max_outcome - res.min_outcome > tol) {
+      res.violation = Violation{
+          Oracle::Divergence,
+          "interleavings diverge: outcome spread [" +
+              std::to_string(res.min_outcome) + "s, " +
+              std::to_string(res.max_outcome) + "s] exceeds tolerance " +
+              std::to_string(tol) + "s",
+          rec.trace};
+      break;
+    }
+    expand(rec, prefix_len, stack);
+  }
+  res.stats = stats_;
+  return res;
+}
+
+Schedule Explorer::shrink(const Schedule& s0, Oracle oracle) {
+  if (oracle == Oracle::Divergence) return s0;
+  const auto reproduces = [&](const Schedule& s) {
+    const RunRecord r = run_schedule(s);
+    return r.violation.has_value() && r.violation->oracle == oracle;
+  };
+  Schedule best = s0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Drop trailing choices while the violation persists (trailing defaults
+    // always replay identically, so they go for free).
+    while (!best.empty()) {
+      Schedule t = best;
+      t.pop_back();
+      if (!reproduces(t)) break;
+      best = std::move(t);
+      changed = true;
+    }
+    // Zero out remaining non-default picks, deepest first.
+    for (std::size_t i = best.size(); i-- > 0;) {
+      if (best.at(i).pick == 0) continue;
+      Schedule t = best;
+      t.at(i).pick = 0;
+      if (reproduces(t)) {
+        best = std::move(t);
+        changed = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pasched::mc

@@ -1,0 +1,152 @@
+// Bounded DFS over the choice tree (stateless model checking by
+// re-execution, CHESS-style): each run replays a schedule prefix and takes
+// defaults beyond it; every choice point discovered in the free suffix
+// spawns sibling prefixes. Two reductions keep the tree tractable:
+//
+//  * visited-set pruning — a run whose pre-choice state hash was already
+//    expanded from another path stops branching there (the identical state
+//    implies an identical subtree, modulo hash collisions);
+//  * DPOR-lite — a tie-break alternative is skipped when the executed run
+//    proves the candidate independent of the one actually fired (disjoint
+//    thread/CPU trace footprints and happens-before-concurrent, via
+//    analysis::HbGraph). Independence is judged from ONE executed run, so
+//    this is a heuristic reduction; see DESIGN.md §5.5 for the soundness
+//    argument and its limits.
+//
+// Oracles, per run: safety (every PASCHED_CHECK plus the conservation /
+// run-queue audits at every quiescent point), bounded liveness (each Ready
+// thread dispatched within a window — the §5.3 mmfsd trap), completion at
+// the horizon (lost wakeups), and cross-run outcome divergence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "mc/model.hpp"
+#include "mc/schedule.hpp"
+#include "sim/time.hpp"
+#include "trace/events.hpp"
+
+namespace pasched::mc {
+
+enum class Oracle : std::uint8_t { Safety, Liveness, Completion, Divergence };
+[[nodiscard]] const char* to_string(Oracle o) noexcept;
+
+struct Violation {
+  Oracle oracle = Oracle::Safety;
+  std::string message;
+  /// Full decision trace of the violating run — replaying it reproduces
+  /// the violation deterministically.
+  Schedule schedule;
+};
+
+struct ExploreOptions {
+  /// Hard cap on executed runs; exceeding it sets stats.clipped.
+  std::size_t max_runs = 20000;
+  /// Choice points deeper than this are not branched on (clips the tree).
+  std::size_t max_depth = 256;
+  /// Liveness window override: negative = use the model's, zero = disable,
+  /// positive = this value.
+  sim::Duration liveness_window = sim::Duration::ns(-1);
+  /// Divergence tolerance override (seconds): negative = use the model's,
+  /// zero = disable, positive = this value.
+  double divergence_tolerance = -1.0;
+  bool reduce = true;  // DPOR-lite tie-break reduction
+  bool prune = true;   // state-hash visited-set pruning
+};
+
+struct ExploreStats {
+  std::size_t runs = 0;
+  std::size_t steps = 0;
+  /// Alternative branches actually enqueued for exploration.
+  std::size_t branches = 0;
+  /// Tie-break alternatives skipped as independent (DPOR-lite).
+  std::size_t dpor_skips = 0;
+  /// Choice points not expanded because their pre-state was already
+  /// expanded from another path.
+  std::size_t visited_prunes = 0;
+  /// Budget (max_runs / max_depth) cut exploration short — a clean result
+  /// is then "no violation found", not "certified".
+  bool clipped = false;
+
+  /// States a naive DFS would have branched into, over what this
+  /// exploration actually branched into (>= 1; > 1 when reduction helped).
+  [[nodiscard]] double reduction_ratio() const noexcept {
+    if (branches == 0) return dpor_skips > 0 ? static_cast<double>(dpor_skips) : 1.0;
+    return static_cast<double>(branches + dpor_skips) /
+           static_cast<double>(branches);
+  }
+};
+
+struct ExploreResult {
+  std::optional<Violation> violation;
+  ExploreStats stats;
+  double min_outcome = 0.0;
+  double max_outcome = 0.0;
+  /// Exhaustively explored with no violation — a real certificate (up to
+  /// state-hash collisions and the DPOR-lite independence approximation).
+  [[nodiscard]] bool certified() const noexcept {
+    return !violation.has_value() && !stats.clipped;
+  }
+};
+
+/// Everything observed in one run — the explorer's expansion input, and the
+/// replay/shrink API's output.
+struct RunRecord {
+  Schedule trace;
+  std::optional<Violation> violation;
+  double outcome = 0.0;
+  /// Per trace index: state hash at the quiescent point before the step
+  /// that consumed the choice (setup choices share the pre-setup hash).
+  std::vector<std::uint64_t> pre_hash;
+  /// Per trace index: candidate seqs when the choice was a tie-break.
+  std::vector<std::vector<std::uint64_t>> tie_seqs;
+  /// The run's mirrored scheduling events.
+  std::vector<trace::Event> events;
+  /// Engine seq of a fired event -> [begin, end) index window in `events`.
+  std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+      window_of_seq;
+};
+
+class Explorer {
+ public:
+  Explorer(ModelFactory factory, ExploreOptions opts);
+
+  /// DFS until a violation, exhaustion, or the budget.
+  ExploreResult explore();
+
+  /// Executes a single run under the given schedule prefix (defaults past
+  /// it) and evaluates the per-run oracles. Used for replay and shrinking.
+  [[nodiscard]] RunRecord run_schedule(const Schedule& prefix);
+
+  /// Greedy counterexample minimization: repeatedly drop trailing choices
+  /// and zero out non-default picks while the same oracle still fires.
+  /// Divergence violations (a cross-run property) are returned unchanged.
+  [[nodiscard]] Schedule shrink(const Schedule& s, Oracle oracle);
+
+  [[nodiscard]] const ExploreStats& stats() const noexcept { return stats_; }
+
+ private:
+  void expand(const RunRecord& r, std::size_t prefix_len,
+              std::vector<Schedule>& stack);
+  [[nodiscard]] bool independent_alternative(const RunRecord& r,
+                                             std::size_t choice_idx,
+                                             std::size_t alt) const;
+  [[nodiscard]] std::optional<Violation> check_liveness(
+      const RunRecord& r, sim::Duration window, sim::Time horizon) const;
+  [[nodiscard]] sim::Duration effective_window(const Model& m) const;
+  [[nodiscard]] double effective_tolerance(const Model& m) const;
+
+  ModelFactory factory_;
+  ExploreOptions opts_;
+  ExploreStats stats_;
+  std::unordered_set<std::uint64_t> visited_;
+};
+
+}  // namespace pasched::mc

@@ -1,0 +1,99 @@
+#include "mc/model.hpp"
+
+#include "check/audit.hpp"
+#include "sim/random.hpp"
+
+namespace pasched::mc {
+
+namespace {
+
+/// Incremental splitmix64-based mixer for state hashing.
+struct Hasher {
+  std::uint64_t state = 0x853c49e6748fea9bULL;
+  std::uint64_t acc = 0;
+  void mix(std::uint64_t v) {
+    state ^= v + 0x9e3779b97f4a7c15ULL;
+    acc = acc * 1099511628211ULL + sim::splitmix64(state);
+  }
+};
+
+}  // namespace
+
+KernelModel::KernelModel() : tracer_(/*node_filter=*/-1) {}
+
+KernelModel::~KernelModel() = default;
+
+kern::Kernel& KernelModel::add_kernel(int node, int ncpus,
+                                      kern::Tunables tun) {
+  kernels_.push_back(std::make_unique<kern::Kernel>(
+      engine_, node, ncpus, tun, sim::Duration::zero(),
+      /*tick_phase_seed=*/0));
+  kern::Kernel& k = *kernels_.back();
+  tracer_.attach(k);
+  tracer_.set_event_log(&elog_);
+  tracer_.enable(engine_.now());
+  return k;
+}
+
+void KernelModel::require_done(const kern::Thread& t) {
+  required_.push_back(&t);
+}
+
+bool KernelModel::all_required_done() const {
+  for (const kern::Thread* t : required_)
+    if (t->state() != kern::ThreadState::Done) return false;
+  return true;
+}
+
+std::uint64_t KernelModel::state_hash() const {
+  Hasher h;
+  h.mix(static_cast<std::uint64_t>(engine_.now().count()));
+  h.mix(engine_.pending_hash());
+  for (const auto& k : kernels_) {
+    h.mix(static_cast<std::uint64_t>(k->node_id()));
+    for (const kern::Thread* t : k->threads()) {
+      h.mix(static_cast<std::uint64_t>(t->tid()));
+      h.mix(static_cast<std::uint64_t>(t->state()));
+      h.mix(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(t->running_on())));
+      h.mix(static_cast<std::uint64_t>(t->effective_priority()));
+      h.mix(static_cast<std::uint64_t>(t->total_cpu().count()));
+      h.mix(t->dispatch_count());
+    }
+  }
+  return h.acc;
+}
+
+void KernelModel::check_safety() const {
+  engine_.check_consistent();
+  for (const auto& k : kernels_) {
+    check::Auditor::verify_runqueues(*k);
+    check::Auditor::verify_conservation(*k);
+  }
+}
+
+std::optional<std::string> KernelModel::check_completion() const {
+  std::string missing;
+  for (const kern::Thread* t : required_) {
+    if (t->state() == kern::ThreadState::Done) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += t->name() + " (tid " + std::to_string(t->tid()) + ", " +
+               kern::to_string(t->state()) + ")";
+  }
+  if (missing.empty()) return std::nullopt;
+  return "not completed by the horizon: " + missing;
+}
+
+double KernelModel::outcome() const {
+  if (required_.empty() || completion_time_ == sim::Time::max())
+    return horizon().to_seconds();
+  return completion_time_.to_seconds();
+}
+
+void KernelModel::after_step(sim::Time now) {
+  if (completion_time_ == sim::Time::max() && !required_.empty() &&
+      all_required_done())
+    completion_time_ = now;
+}
+
+}  // namespace pasched::mc

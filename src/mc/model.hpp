@@ -1,0 +1,110 @@
+// The system-under-test abstraction for the model checker. A Model owns one
+// fresh sim::Engine plus whatever kernels/threads/daemons the scenario
+// needs; the explorer re-constructs it for every run (stateless model
+// checking by re-execution) and steers all its nondeterminism through the
+// engine's ChoiceSource/TieBreak seam.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kern/kernel.hpp"
+#include "sim/engine.hpp"
+#include "trace/events.hpp"
+#include "trace/trace.hpp"
+
+namespace pasched::daemons {
+class Daemon;
+}
+
+namespace pasched::mc {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] virtual sim::Engine& engine() = 0;
+  [[nodiscard]] virtual trace::EventLog& event_log() = 0;
+
+  /// Arms the model (kernel start(), daemon start(), initial wakes). Called
+  /// exactly once, after the explorer has installed its ChoiceSource and
+  /// TieBreak on engine() — so setup-time choice points are explorable.
+  virtual void setup() = 0;
+
+  /// Events after this time are not executed; liveness/completion verdicts
+  /// are rendered at the horizon.
+  [[nodiscard]] virtual sim::Time horizon() const = 0;
+
+  /// Hash of the model + engine state at a quiescent point. Two runs whose
+  /// hashes collide are treated as having converged (visited-set pruning),
+  /// so the hash must cover everything scheduling-relevant and must NOT
+  /// cover history artifacts (event seq counters, trace logs).
+  [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+
+  /// Structural invariants, checked at every quiescent point. Throws
+  /// check::CheckError on violation (the explorer catches it).
+  virtual void check_safety() const = 0;
+
+  /// At the horizon: an error message if some thread that must finish did
+  /// not (the lost-wakeup oracle), std::nullopt when all completed.
+  [[nodiscard]] virtual std::optional<std::string> check_completion()
+      const = 0;
+
+  /// Bounded-liveness window: every Ready thread must be dispatched within
+  /// this much simulated time. zero() disables the oracle for this model.
+  [[nodiscard]] virtual sim::Duration liveness_window() const {
+    return sim::Duration::zero();
+  }
+
+  /// Scalar outcome of the run (seconds) for the divergence oracle.
+  [[nodiscard]] virtual double outcome() const = 0;
+
+  /// Maximum allowed outcome spread across interleavings before the
+  /// divergence oracle fires; <= 0 disables it for this model.
+  [[nodiscard]] virtual double divergence_tolerance() const { return 0.0; }
+
+  /// Called after every engine step (quiescent). Default no-op.
+  virtual void after_step(sim::Time /*now*/) {}
+};
+
+/// Convenience base for kernel-backed scenarios: owns the engine, an event
+/// log + tracer mirroring all scheduling events, any number of kernels, and
+/// a "must complete" thread set that drives check_completion()/outcome().
+class KernelModel : public Model {
+ public:
+  KernelModel();
+  ~KernelModel() override;
+
+  [[nodiscard]] sim::Engine& engine() override { return engine_; }
+  [[nodiscard]] trace::EventLog& event_log() override { return elog_; }
+
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  void check_safety() const override;
+  [[nodiscard]] std::optional<std::string> check_completion() const override;
+  /// Completion time of the must-complete set (horizon if it never
+  /// completed). Models without required threads report the horizon.
+  [[nodiscard]] double outcome() const override;
+  void after_step(sim::Time now) override;
+
+ protected:
+  /// Creates a kernel for node `node` and registers it with the tracer.
+  kern::Kernel& add_kernel(int node, int ncpus, kern::Tunables tun);
+  /// Marks a thread as required to reach Done by the horizon.
+  void require_done(const kern::Thread& t);
+  [[nodiscard]] bool all_required_done() const;
+
+  sim::Engine engine_;
+  trace::EventLog elog_;
+  trace::Tracer tracer_;
+  std::vector<std::unique_ptr<kern::Kernel>> kernels_;
+  std::vector<const kern::Thread*> required_;
+  sim::Time completion_time_ = sim::Time::max();
+};
+
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+}  // namespace pasched::mc

@@ -1,0 +1,115 @@
+// A Schedule is the model checker's unit of control: the ordered list of
+// bounded decisions (tie-breaks, daemon arrival phases, tick stagger) that a
+// run consumed. Replaying the same schedule through a GuidedSource makes any
+// counterexample bit-reproducible; extending a prefix with a different pick
+// is how the DFS explorer enumerates the choice tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/choice.hpp"
+
+namespace pasched::mc {
+
+/// One recorded decision: at a choice point named `tag` with `arity`
+/// alternatives, `pick` was taken.
+struct Choice {
+  std::string tag;
+  std::size_t arity = 0;
+  std::size_t pick = 0;
+  friend bool operator==(const Choice&, const Choice&) = default;
+};
+
+/// An ordered list of decisions. The first size() choice points of a run
+/// replay these picks; every later choice point takes the default (0),
+/// which reproduces FIFO tie-breaking and phase bucket 0.
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Choice> choices)
+      : choices_(std::move(choices)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return choices_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return choices_.empty(); }
+  [[nodiscard]] const Choice& at(std::size_t i) const { return choices_[i]; }
+  [[nodiscard]] Choice& at(std::size_t i) { return choices_[i]; }
+  [[nodiscard]] const std::vector<Choice>& choices() const noexcept {
+    return choices_;
+  }
+  void push_back(Choice c) { choices_.push_back(std::move(c)); }
+  void pop_back() { choices_.pop_back(); }
+
+  /// Number of non-default (pick != 0) decisions — the counterexample's
+  /// real complexity; default picks replay for free.
+  [[nodiscard]] std::size_t deviations() const noexcept;
+
+  /// The first n choices.
+  [[nodiscard]] Schedule prefix(std::size_t n) const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+  /// Human-readable one-choice-per-line form ("tag arity pick").
+  [[nodiscard]] std::string str() const;
+  /// Same as str() plus a header comment; parse() accepts it back.
+  [[nodiscard]] std::string serialize() const;
+  /// Parses serialize()/str() output. '#' starts a comment; blank lines are
+  /// skipped. Throws std::logic_error on malformed lines or pick >= arity.
+  [[nodiscard]] static Schedule parse(const std::string& text);
+
+ private:
+  std::vector<Choice> choices_;
+};
+
+/// A ChoiceSource that replays a schedule prefix and defaults to 0 beyond
+/// it, recording every decision actually made (with the live arity). Replay
+/// is lenient about arity drift: a prefix pick is clamped to the live
+/// arity - 1, so slightly stale counterexamples still steer the run.
+class GuidedSource final : public sim::ChoiceSource {
+ public:
+  explicit GuidedSource(Schedule prefix) : prefix_(std::move(prefix)) {}
+
+  std::size_t choose(std::size_t n, const char* tag) override;
+
+  /// Everything decided so far (prefix replays + default suffix).
+  [[nodiscard]] const Schedule& trace() const noexcept { return trace_; }
+  [[nodiscard]] std::size_t decisions() const noexcept {
+    return trace_.size();
+  }
+  /// True if any replayed pick had to be clamped to a smaller live arity.
+  [[nodiscard]] bool clamped() const noexcept { return clamped_; }
+
+ private:
+  Schedule prefix_;
+  Schedule trace_;
+  bool clamped_ = false;
+};
+
+/// The tie-break the explorer installs: routes the decision to a
+/// GuidedSource and remembers each choice point's candidate seq numbers so
+/// the DPOR reduction can map alternatives back to trace windows.
+class RecordingTieBreak final : public sim::TieBreak {
+ public:
+  explicit RecordingTieBreak(GuidedSource& src) : src_(src) {}
+
+  std::size_t pick(const std::vector<sim::TieCandidate>& ties) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "mc-recording";
+  }
+
+  /// tie_seqs()[k] lists the candidate seqs of the k-th *tie-break* choice
+  /// (other choice kinds do not appear here); indexed separately from the
+  /// GuidedSource trace, which interleaves all choice kinds.
+  [[nodiscard]] const std::vector<std::vector<std::uint64_t>>& tie_seqs()
+      const noexcept {
+    return tie_seqs_;
+  }
+
+ private:
+  GuidedSource& src_;
+  std::vector<std::vector<std::uint64_t>> tie_seqs_;
+};
+
+}  // namespace pasched::mc

@@ -1,0 +1,28 @@
+#include "sim/choice.hpp"
+
+#include "util/assert.hpp"
+
+namespace pasched::sim {
+
+std::size_t FifoTieBreak::pick(const std::vector<TieCandidate>& ties) {
+  PASCHED_EXPECTS(!ties.empty());
+  return 0;
+}
+
+std::size_t LifoTieBreak::pick(const std::vector<TieCandidate>& ties) {
+  PASCHED_EXPECTS(!ties.empty());
+  return ties.size() - 1;
+}
+
+std::size_t RandomTieBreak::pick(const std::vector<TieCandidate>& ties) {
+  PASCHED_EXPECTS(!ties.empty());
+  return static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(ties.size()) - 1));
+}
+
+std::size_t SourceTieBreak::pick(const std::vector<TieCandidate>& ties) {
+  PASCHED_EXPECTS(src_ != nullptr && !ties.empty());
+  return src_->choose(ties.size(), "engine.tiebreak");
+}
+
+}  // namespace pasched::sim

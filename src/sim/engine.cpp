@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "sim/random.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::sim {
@@ -26,6 +27,7 @@ void Engine::release_slot(std::uint32_t idx) noexcept {
   s.fn.reset();
   ++s.gen;  // invalidate any outstanding EventIds / heap entries
   s.armed = false;
+  s.held = false;
   free_.push_back(idx);
 }
 
@@ -41,10 +43,16 @@ EventId Engine::schedule_at(Time t, Callback fn) {
   return EventId{idx, s.gen};
 }
 
-void Engine::cancel(EventId id) noexcept {
+void Engine::cancel(EventId id) {
   if (!id.valid() || id.slot >= slots_.size()) return;
   Slot& s = slots_[id.slot];
   if (s.gen != id.gen || !s.armed) return;  // already fired / cancelled
+  // A held slot is mid-TieBreak::pick(): its heap entry is already popped,
+  // so a cancel here would be silently undone when the candidate is
+  // re-queued (or worse, fired). Surface the bug instead of losing it.
+  PASCHED_CHECK_MSG(!s.held,
+                    "cancel() of an event held by TieBreak::pick() — the "
+                    "cancellation would be lost");
   --live_;
   release_slot(id.slot);
 }
@@ -55,36 +63,97 @@ bool Engine::pending(EventId id) const noexcept {
   return s.gen == id.gen && s.armed;
 }
 
+void Engine::fire_item(const HeapItem& item) {
+  Slot& s = slots_[item.slot];
+  PASCHED_CHECK_MSG(static_cast<bool>(s.fn),
+                    "armed slot has no callback to fire");
+  last_fired_t_ = item.t;
+  last_fired_seq_ = item.seq;
+  now_ = item.t;
+  // Move the callback out before releasing so the handler can freely
+  // schedule/cancel (including reusing this very slot).
+  Callback fn = std::move(s.fn);
+  --live_;
+  release_slot(item.slot);
+  ++processed_;
+  fn();
+}
+
 bool Engine::fire_next() {
   while (!heap_.empty()) {
     const HeapItem top = heap_.front();
+    {
+      const Slot& s = slots_[top.slot];
+      if (s.gen != top.gen || !s.armed) {  // stale (cancelled) entry
+        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+        heap_.pop_back();
+        continue;
+      }
+    }
+    PASCHED_ASSERT(top.t >= now_);
+    if (tie_break_ != nullptr) return fire_tied();
     std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
     heap_.pop_back();
-    Slot& s = slots_[top.slot];
-    if (s.gen != top.gen || !s.armed) continue;  // stale (cancelled) entry
-    PASCHED_ASSERT(top.t >= now_);
     // Causality: pops must come off the heap in strictly increasing (t, seq)
     // order — a regression here reorders same-timestamp events and silently
-    // breaks the engine's FIFO tie-break guarantee.
+    // breaks the engine's FIFO tie-break guarantee. (With a TieBreak
+    // installed same-t reordering is intentional; fire_tied() checks only
+    // time monotonicity.)
     PASCHED_CHECK_MSG(
         top.t > last_fired_t_ ||
             (top.t == last_fired_t_ && top.seq > last_fired_seq_),
         "event fired out of (t, seq) order");
-    PASCHED_CHECK_MSG(static_cast<bool>(s.fn),
-                      "armed slot has no callback to fire");
-    last_fired_t_ = top.t;
-    last_fired_seq_ = top.seq;
-    now_ = top.t;
-    // Move the callback out before releasing so the handler can freely
-    // schedule/cancel (including reusing this very slot).
-    Callback fn = std::move(s.fn);
-    --live_;
-    release_slot(top.slot);
-    ++processed_;
-    fn();
+    fire_item(top);
     return true;
   }
   return false;
+}
+
+bool Engine::fire_tied() {
+  // Precondition: heap top is live. Drain every live entry tied at the
+  // minimum timestamp; heap pops deliver them in increasing seq order.
+  const Time t0 = heap_.front().t;
+  std::vector<HeapItem> tied;
+  while (!heap_.empty() && heap_.front().t == t0) {
+    const HeapItem top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+    const Slot& s = slots_[top.slot];
+    if (s.gen != top.gen || !s.armed) continue;
+    tied.push_back(top);
+  }
+  PASCHED_ASSERT(!tied.empty());
+  std::size_t choice = 0;
+  if (tied.size() > 1) {
+    std::vector<TieCandidate> cands;
+    cands.reserve(tied.size());
+    for (const HeapItem& h : tied) {
+      slots_[h.slot].held = true;
+      cands.push_back(TieCandidate{EventId{h.slot, h.gen}, h.seq});
+    }
+    choice = tie_break_->pick(cands);
+    PASCHED_CHECK_ALWAYS_MSG(choice < tied.size(),
+                             "TieBreak::pick returned an out-of-range index");
+    for (const HeapItem& h : tied) slots_[h.slot].held = false;
+    // Re-queue the losers *before* firing so the handler observes a
+    // consistent pending set (it may cancel or reschedule them).
+    for (std::size_t i = 0; i < tied.size(); ++i) {
+      if (i == choice) continue;
+      heap_.push_back(tied[i]);
+      std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+    }
+  }
+  const HeapItem& chosen = tied[choice];
+  {
+    // Defensive (reachable only with validation off and a strategy that
+    // cancelled a held candidate): treat a dead chosen entry as stale.
+    const Slot& s = slots_[chosen.slot];
+    if (s.gen != chosen.gen || !s.armed) return true;
+  }
+  PASCHED_CHECK_MSG(chosen.t >= last_fired_t_,
+                    "event fired with a receding timestamp");
+  fire_item(chosen);
+  return true;
 }
 
 void Engine::run() {
@@ -124,8 +193,38 @@ bool Engine::run_until(Time deadline) {
   return false;
 }
 
+Time Engine::next_event_time() {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    const Slot& s = slots_[top.slot];
+    if (s.gen == top.gen && s.armed) return top.t;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+  }
+  return Time::max();
+}
+
+std::uint64_t Engine::pending_hash() const {
+  std::vector<std::int64_t> times;
+  times.reserve(live_);
+  for (const HeapItem& h : heap_) {
+    const Slot& s = slots_[h.slot];
+    if (s.gen == h.gen && s.armed) times.push_back(h.t.count());
+  }
+  std::sort(times.begin(), times.end());
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL ^ times.size();
+  std::uint64_t hash = splitmix64(state);
+  for (const std::int64_t t : times) {
+    state ^= static_cast<std::uint64_t>(t);
+    hash = hash * 1099511628211ULL + splitmix64(state);
+  }
+  return hash;
+}
+
 void Engine::check_consistent() const {
   // Every armed slot holds a callback; live_ counts exactly the armed slots.
+  // No slot may be held outside an in-progress TieBreak::pick(), and
+  // check_consistent() is only valid between events.
   std::size_t armed = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     const Slot& s = slots_[i];
@@ -135,6 +234,9 @@ void Engine::check_consistent() const {
                                "armed slot " + std::to_string(i) +
                                    " has no callback");
     }
+    PASCHED_CHECK_ALWAYS_MSG(!s.held,
+                             "slot " + std::to_string(i) +
+                                 " still held outside TieBreak::pick()");
   }
   PASCHED_CHECK_ALWAYS_MSG(armed == live_,
                            "live_ disagrees with armed slot count");

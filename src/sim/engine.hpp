@@ -2,6 +2,11 @@
 // stable FIFO tie-breaking and O(1) cancellation. Everything in pasched —
 // kernel ticks, IPIs, CPU burst completions, network deliveries, daemon
 // timers — is an event scheduled here.
+//
+// Same-timestamp ordering is a *choice point*: with no strategy installed
+// the engine keeps its historical FIFO guarantee (scheduling order), but a
+// TieBreak strategy may be plugged in to pick any of the tied events — the
+// seam the model checker (src/mc/) explores exhaustively.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,29 @@ struct EventId {
   friend bool operator==(EventId a, EventId b) = default;
 };
 
+/// One of the events tied at the current minimum timestamp. `seq` is the
+/// engine-assigned scheduling order, so candidates arrive FIFO-sorted and
+/// picking index 0 always reproduces the default behavior.
+struct TieCandidate {
+  EventId id;
+  std::uint64_t seq = 0;
+};
+
+/// Strategy for ordering same-timestamp events. pick() receives the tied
+/// candidates in scheduling (seq) order and returns the index to fire next;
+/// the rest are re-queued and re-offered (minus the fired one) until the
+/// timestamp is drained. Candidates are *held* while pick() runs: cancelling
+/// one from inside pick() is rejected under PASCHED_VALIDATE.
+class TieBreak {
+ public:
+  virtual ~TieBreak() = default;
+  /// Returns an index into `ties` (size >= 2). Must be in range.
+  virtual std::size_t pick(const std::vector<TieCandidate>& ties) = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+class ChoiceSource;  // sim/choice.hpp — generic bounded-decision source
+
 class Engine {
  public:
   using Callback = InlineCallback<48>;
@@ -32,14 +60,17 @@ class Engine {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute time `t` (must be >= now()). Events with the
-  /// same timestamp fire in scheduling order.
+  /// same timestamp fire in scheduling order unless a TieBreak is installed.
   EventId schedule_at(Time t, Callback fn);
   EventId schedule_after(Duration d, Callback fn) {
     return schedule_at(now_ + d, std::move(fn));
   }
 
-  /// Cancels the event if it has not fired yet; no-op otherwise.
-  void cancel(EventId id) noexcept;
+  /// Cancels the event if it has not fired yet; no-op otherwise. Under
+  /// PASCHED_VALIDATE, cancelling a slot that is currently held by a
+  /// TieBreak::pick() in progress throws check::CheckError — by then the
+  /// event is already off the heap and cancellation would be silently lost.
+  void cancel(EventId id);
 
   /// True if the event is still pending.
   [[nodiscard]] bool pending(EventId id) const noexcept;
@@ -51,13 +82,45 @@ class Engine {
   /// (unless stopped earlier). Returns false if stopped before the deadline.
   bool run_until(Time deadline);
 
+  /// Fires exactly one event. Returns false if the queue is empty.
+  bool step() { return fire_next(); }
+
+  /// Timestamp of the next live event, or Time::max() if none. Prunes stale
+  /// (cancelled) heap entries as a side effect; does not advance now().
+  [[nodiscard]] Time next_event_time();
+
   /// Requests that run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
+
+  /// Installs a same-timestamp ordering strategy (non-owning; must outlive
+  /// its use). nullptr restores the default FIFO fast path.
+  void set_tie_break(TieBreak* tb) noexcept { tie_break_ = tb; }
+  [[nodiscard]] TieBreak* tie_break() const noexcept { return tie_break_; }
+
+  /// A generic decision source for model-level choice points (daemon arrival
+  /// phases, tick stagger). The engine only stores the pointer — components
+  /// that own nondeterminism query it at setup time. Non-owning.
+  void set_choice_source(ChoiceSource* cs) noexcept { choice_source_ = cs; }
+  [[nodiscard]] ChoiceSource* choice_source() const noexcept {
+    return choice_source_;
+  }
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return processed_;
   }
   [[nodiscard]] std::size_t events_pending() const noexcept { return live_; }
+
+  /// Scheduling-order sequence number of the most recently fired event.
+  /// The model checker uses it to correlate engine pops with trace windows.
+  [[nodiscard]] std::uint64_t last_fired_seq() const noexcept {
+    return last_fired_seq_;
+  }
+
+  /// Order-insensitive hash of the pending-event timestamps (splitmix64
+  /// chained over the sorted multiset of live times). Deliberately excludes
+  /// seq counters — two histories that converged to the same pending set
+  /// hash equal, which is what visited-set pruning needs.
+  [[nodiscard]] std::uint64_t pending_hash() const;
 
   /// Full O(n) structural audit of the slot table / heap / free list; throws
   /// check::CheckError on the first inconsistency. Always compiled (calling
@@ -69,6 +132,10 @@ class Engine {
     Callback fn;
     std::uint32_t gen = 0;
     bool armed = false;
+    // True while the slot sits in a TieBreak::pick() candidate list: off
+    // the heap but not yet fired or re-queued. Cancellation must not touch
+    // it (see cancel()). Always present so layout is validation-agnostic.
+    bool held = false;
   };
   struct HeapItem {
     Time t;
@@ -86,6 +153,8 @@ class Engine {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx) noexcept;
   bool fire_next();
+  bool fire_tied();
+  void fire_item(const HeapItem& item);
 
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
@@ -95,6 +164,8 @@ class Engine {
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
+  TieBreak* tie_break_ = nullptr;
+  ChoiceSource* choice_source_ = nullptr;
   // Last fired (t, seq), for the PASCHED_VALIDATE causality check. Always
   // present so the class layout does not depend on the validation flag.
   // The sentinel start time compares below any schedulable time.

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/configs.hpp"
+#include "mc/explorer.hpp"
+#include "mc/schedule.hpp"
+
+using namespace pasched;
+using namespace pasched::mc;
+
+namespace {
+
+ExploreOptions default_opts() {
+  ExploreOptions o;
+  o.max_runs = 20000;
+  o.max_depth = 256;
+  return o;
+}
+
+}  // namespace
+
+TEST(Explorer, LostWakeupIsFoundByCompletionOracle) {
+  Explorer ex(find_model("lost-wakeup"), default_opts());
+  const ExploreResult res = ex.explore();
+  ASSERT_TRUE(res.violation.has_value());
+  EXPECT_EQ(res.violation->oracle, Oracle::Completion);
+  EXPECT_NE(res.violation->message.find("not completed"), std::string::npos);
+  // The planted race needs exactly one non-default tie-break decision.
+  EXPECT_GE(res.violation->schedule.deviations(), 1u);
+  // The default (FIFO) run is clean, so finding the bug took exploration.
+  EXPECT_GT(res.stats.runs, 1u);
+}
+
+TEST(Explorer, LostWakeupCounterexampleReplays) {
+  Explorer ex(find_model("lost-wakeup"), default_opts());
+  const ExploreResult res = ex.explore();
+  ASSERT_TRUE(res.violation.has_value());
+  // Replaying the recorded schedule reproduces the violation exactly.
+  const RunRecord replay = ex.run_schedule(res.violation->schedule);
+  ASSERT_TRUE(replay.violation.has_value());
+  EXPECT_EQ(replay.violation->oracle, Oracle::Completion);
+  // And a default run stays clean.
+  const RunRecord clean = ex.run_schedule(Schedule{});
+  EXPECT_FALSE(clean.violation.has_value());
+}
+
+TEST(Explorer, StarvationIsFoundByLivenessOracle) {
+  Explorer ex(find_model("starvation"), default_opts());
+  const ExploreResult res = ex.explore();
+  ASSERT_TRUE(res.violation.has_value());
+  EXPECT_EQ(res.violation->oracle, Oracle::Liveness);
+  EXPECT_NE(res.violation->message.find("not dispatched"), std::string::npos);
+  // The starving interleaving hinges on a non-default arrival phase.
+  bool phase_deviation = false;
+  for (const Choice& c : res.violation->schedule.choices())
+    if (c.tag == "daemon.arrival_phase" && c.pick != 0) phase_deviation = true;
+  EXPECT_TRUE(phase_deviation);
+}
+
+TEST(Explorer, CleanConfigCertifiesWithinBudget) {
+  Explorer ex(find_model("clean"), default_opts());
+  const ExploreResult res = ex.explore();
+  EXPECT_FALSE(res.violation.has_value())
+      << to_string(res.violation->oracle) << ": " << res.violation->message;
+  EXPECT_TRUE(res.certified());
+  EXPECT_FALSE(res.stats.clipped);
+  EXPECT_GT(res.stats.runs, 1u);  // there genuinely were interleavings
+}
+
+TEST(Explorer, DporReductionSkipsAndRatioAboveOne) {
+  Explorer ex(find_model("clean"), default_opts());
+  const ExploreResult res = ex.explore();
+  ASSERT_TRUE(res.certified());
+  EXPECT_GT(res.stats.dpor_skips, 0u);
+  EXPECT_GT(res.stats.reduction_ratio(), 1.0);
+
+  // Turning the reduction off must not change the verdict, only the cost.
+  ExploreOptions raw = default_opts();
+  raw.reduce = false;
+  Explorer ex_raw(find_model("clean"), raw);
+  const ExploreResult res_raw = ex_raw.explore();
+  ASSERT_TRUE(res_raw.certified());
+  EXPECT_EQ(res_raw.stats.dpor_skips, 0u);
+  EXPECT_GE(res_raw.stats.runs, res.stats.runs);
+}
+
+TEST(Explorer, DivergenceOracleCatchesOutcomeSpread) {
+  // Disable the liveness oracle so the starvation scenario survives long
+  // enough for the cross-run divergence check: the daemon's CPU time is
+  // phase-dependent (full burst vs starved ~0), far beyond 50us tolerance.
+  ExploreOptions o = default_opts();
+  o.liveness_window = sim::Duration::zero();
+  o.divergence_tolerance = 50e-6;
+  Explorer ex(find_model("starvation"), o);
+  const ExploreResult res = ex.explore();
+  ASSERT_TRUE(res.violation.has_value());
+  EXPECT_EQ(res.violation->oracle, Oracle::Divergence);
+  EXPECT_NE(res.violation->message.find("diverge"), std::string::npos);
+}
+
+TEST(Explorer, BudgetClippingIsReportedNotCertified) {
+  ExploreOptions o = default_opts();
+  o.max_runs = 2;  // way below what "clean" needs
+  Explorer ex(find_model("clean"), o);
+  const ExploreResult res = ex.explore();
+  EXPECT_FALSE(res.violation.has_value());
+  EXPECT_TRUE(res.stats.clipped);
+  EXPECT_FALSE(res.certified());
+}
+
+TEST(Explorer, VisitedPruningFiresOnClean) {
+  Explorer ex(find_model("clean"), default_opts());
+  const ExploreResult with = ex.explore();
+  ASSERT_TRUE(with.certified());
+
+  ExploreOptions o = default_opts();
+  o.prune = false;
+  Explorer ex_off(find_model("clean"), o);
+  const ExploreResult without = ex_off.explore();
+  ASSERT_TRUE(without.certified());
+  EXPECT_GE(without.stats.runs, with.stats.runs);
+}
+
+TEST(Explorer, ModelZooIsWellFormed) {
+  EXPECT_EQ(model_zoo().size(), 3u);
+  for (const NamedModel& m : model_zoo()) {
+    EXPECT_TRUE(find_model(m.name));
+    EXPECT_FALSE(m.description.empty());
+  }
+  EXPECT_FALSE(find_model("no-such-config"));
+}

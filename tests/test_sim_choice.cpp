@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "sim/choice.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+using namespace pasched;
+using namespace pasched::sim;
+using namespace pasched::sim::literals;
+
+namespace {
+
+/// Scripted decision source: returns the scripted picks in order (clamped to
+/// the live arity), then defaults to 0. Records every query's tag.
+struct ScriptedSource final : ChoiceSource {
+  std::vector<std::size_t> picks;
+  std::vector<std::string> tags;
+  std::size_t next = 0;
+  std::size_t choose(std::size_t n, const char* tag) override {
+    tags.emplace_back(tag);
+    const std::size_t p = next < picks.size() ? picks[next++] : 0;
+    return p < n ? p : n - 1;
+  }
+};
+
+std::vector<int> run_tied(TieBreak* tb) {
+  Engine e;
+  e.set_tie_break(tb);
+  std::vector<int> order;
+  const Time t = Time::zero() + 5_us;
+  for (int i = 0; i < 6; ++i)
+    e.schedule_at(t, [&order, i] { order.push_back(i); });
+  e.run();
+  return order;
+}
+
+}  // namespace
+
+TEST(TieBreak, FifoStrategyMatchesDefault) {
+  const std::vector<int> plain = run_tied(nullptr);
+  FifoTieBreak fifo;
+  EXPECT_EQ(run_tied(&fifo), plain);
+  EXPECT_EQ(plain, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(TieBreak, LifoStrategyReverses) {
+  LifoTieBreak lifo;
+  EXPECT_EQ(run_tied(&lifo), (std::vector<int>{5, 4, 3, 2, 1, 0}));
+}
+
+TEST(TieBreak, RandomIsSeedDeterministic) {
+  RandomTieBreak a(1234), b(1234), c(999);
+  const std::vector<int> ra = run_tied(&a);
+  const std::vector<int> rb = run_tied(&b);
+  EXPECT_EQ(ra, rb);
+  // Sanity: it is a permutation of all six events.
+  std::vector<int> sorted = ra;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  (void)c;
+}
+
+TEST(TieBreak, SourceTieBreakFollowsScript) {
+  // Candidates arrive seq-sorted, so picking index k fires the k-th oldest
+  // remaining event: picks {2,0,1} over 4 tied events yield 2,0,3,1.
+  ScriptedSource src;
+  src.picks = {2, 0, 1};
+  SourceTieBreak tb(&src);
+  Engine e;
+  e.set_tie_break(&tb);
+  std::vector<int> order;
+  const Time t = Time::zero() + 1_ms;
+  for (int i = 0; i < 4; ++i)
+    e.schedule_at(t, [&order, i] { order.push_back(i); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 3, 1}));
+  ASSERT_EQ(src.tags.size(), 3u);  // final lone event needs no decision
+  for (const std::string& tag : src.tags) EXPECT_EQ(tag, "engine.tiebreak");
+}
+
+TEST(TieBreak, MixedTimestampsOnlyTieWithinOneInstant) {
+  LifoTieBreak lifo;
+  Engine e;
+  e.set_tie_break(&lifo);
+  std::vector<int> order;
+  e.schedule_at(Time::zero() + 1_us, [&] { order.push_back(0); });
+  e.schedule_at(Time::zero() + 2_us, [&] { order.push_back(1); });
+  e.schedule_at(Time::zero() + 2_us, [&] { order.push_back(2); });
+  e.schedule_at(Time::zero() + 3_us, [&] { order.push_back(3); });
+  e.run();
+  // Only the 2us pair is reorderable; time order is never violated.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(TieBreak, HandlerScheduledSameTimeJoinsTie) {
+  // An event that schedules another at the *same* timestamp: the spawned
+  // event still fires within this instant, after the already-tied ones.
+  LifoTieBreak lifo;
+  Engine e;
+  e.set_tie_break(&lifo);
+  std::vector<int> order;
+  const Time t = Time::zero() + 1_ms;
+  e.schedule_at(t, [&] {
+    order.push_back(0);
+    e.schedule_at(t, [&] { order.push_back(9); });
+  });
+  e.schedule_at(t, [&] { order.push_back(1); });
+  e.run();
+  // LIFO fires 1 first; 1 spawns nothing. Then 0 runs, spawning 9 — which
+  // is now the only remaining event.
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 9}));
+}
+
+TEST(Engine, StepAndNextEventTime) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(Time::zero() + 1_us, [&] { ++fired; });
+  e.schedule_at(Time::zero() + 2_us, [&] { ++fired; });
+  EXPECT_EQ(e.next_event_time(), Time::zero() + 1_us);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), Time::zero() + 1_us);
+  EXPECT_EQ(e.next_event_time(), Time::zero() + 2_us);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_EQ(e.next_event_time(), Time::max());
+}
+
+TEST(Engine, NextEventTimeSkipsCancelled) {
+  Engine e;
+  const EventId a = e.schedule_at(Time::zero() + 1_us, [] {});
+  e.schedule_at(Time::zero() + 5_us, [] {});
+  e.cancel(a);
+  EXPECT_EQ(e.next_event_time(), Time::zero() + 5_us);
+}
+
+TEST(Engine, PendingHashTracksPendingSet) {
+  Engine a, b;
+  a.schedule_at(Time::zero() + 1_us, [] {});
+  a.schedule_at(Time::zero() + 2_us, [] {});
+  // Same pending *times* scheduled in a different order hash equal.
+  b.schedule_at(Time::zero() + 2_us, [] {});
+  b.schedule_at(Time::zero() + 1_us, [] {});
+  EXPECT_EQ(a.pending_hash(), b.pending_hash());
+  b.schedule_at(Time::zero() + 3_us, [] {});
+  EXPECT_NE(a.pending_hash(), b.pending_hash());
+}
+
+TEST(Engine, LastFiredSeqAdvances) {
+  Engine e;
+  e.schedule_at(Time::zero() + 1_us, [] {});
+  e.schedule_at(Time::zero() + 2_us, [] {});
+  ASSERT_TRUE(e.step());
+  const std::uint64_t s1 = e.last_fired_seq();
+  ASSERT_TRUE(e.step());
+  EXPECT_NE(e.last_fired_seq(), s1);
+}
+
+#if PASCHED_VALIDATE_ENABLED
+namespace {
+
+/// Malicious strategy: cancels one of the held candidates from inside
+/// pick(). The engine must reject this — the candidate is already off the
+/// heap, so the cancellation would otherwise be silently lost.
+struct CancellingTieBreak final : TieBreak {
+  Engine* engine = nullptr;
+  std::size_t pick(const std::vector<TieCandidate>& ties) override {
+    engine->cancel(ties.back().id);
+    return 0;
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "cancelling";
+  }
+};
+
+}  // namespace
+
+TEST(TieBreak, CancelOfHeldCandidateIsRejected) {
+  CancellingTieBreak tb;
+  Engine e;
+  tb.engine = &e;
+  e.set_tie_break(&tb);
+  const Time t = Time::zero() + 1_ms;
+  e.schedule_at(t, [] {});
+  e.schedule_at(t, [] {});
+  EXPECT_THROW(e.run(), check::CheckError);
+}
+#endif  // PASCHED_VALIDATE_ENABLED
+
+TEST(TieBreak, CancelOfUnheldEventDuringPickIsFine) {
+  // Cancelling an event that is NOT part of the tie set from inside a
+  // handler fired by a strategy stays a harmless no-op.
+  LifoTieBreak lifo;
+  Engine e;
+  e.set_tie_break(&lifo);
+  int fired = 0;
+  const Time t = Time::zero() + 1_ms;
+  const EventId victim = e.schedule_at(Time::zero() + 2_ms, [&] { ++fired; });
+  e.schedule_at(t, [&] { e.cancel(victim); });
+  e.schedule_at(t, [] {});
+  e.run();
+  EXPECT_EQ(fired, 0);
+}

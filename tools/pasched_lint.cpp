@@ -16,7 +16,7 @@
 //   ./pasched-lint --scenario=ale3d-naive           # §5.3 misconfiguration
 //   ./pasched-lint --scenario=ale3d-tuned           # the favored=41 fix
 //   ./pasched-lint --admin=etc/poe.priority
-//   ./pasched-lint --trace-run [--trace-calls=N]
+//   ./pasched-lint --trace-run [--trace-calls=N] [--schedule=FILE]
 //   ./pasched-lint --schedtune --kernel=prototype
 //
 // Exit status: 0 = no ERROR findings, 1 = at least one ERROR, 64 = bad usage.
@@ -32,6 +32,8 @@
 #include "core/presets.hpp"
 #include "core/simulation.hpp"
 #include "kern/schedtune.hpp"
+#include "mc/schedule.hpp"
+#include "sim/choice.hpp"
 #include "trace/trace.hpp"
 #include "util/flags.hpp"
 
@@ -126,8 +128,11 @@ int lint_admin_file(const std::string& path,
 
 /// Runs a deliberately tight co-scheduling window (so several flips happen
 /// in well under a second of simulated time) over the paper's synthetic
-/// benchmark on a stock kernel, then mines the event stream.
-int run_trace_analysis(int calls, bool verbose) {
+/// benchmark on a stock kernel, then mines the event stream. When
+/// schedule_path is non-empty, the file (a pasched-mc counterexample) steers
+/// every recorded choice point; past the schedule's end, defaults apply.
+int run_trace_analysis(int calls, bool verbose,
+                       const std::string& schedule_path) {
   core::SimulationConfig cfg;
   cfg.cluster = cluster::presets::frost(2);
   cfg.cluster.seed = 1;
@@ -147,6 +152,34 @@ int run_trace_analysis(int calls, bool verbose) {
   at.calls_per_loop = calls;
   at.warmup = sim::Duration::ms(150);
   core::Simulation sim(cfg, apps::aggregate_trace(at));
+
+  // Schedule-guided replay: steer the engine's choice points with a saved
+  // pasched-mc counterexample. The source and tie-break must outlive run().
+  mc::Schedule sched;
+  if (!schedule_path.empty()) {
+    std::ifstream in(schedule_path);
+    if (!in) {
+      std::cerr << "pasched-lint: cannot read " << schedule_path << "\n";
+      return 64;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      sched = mc::Schedule::parse(text.str());
+    } catch (const std::logic_error& e) {
+      std::cerr << "pasched-lint: " << schedule_path << ": " << e.what()
+                << "\n";
+      return 64;
+    }
+  }
+  mc::GuidedSource guide(sched);
+  sim::SourceTieBreak guided_ties(&guide);
+  if (!schedule_path.empty()) {
+    sim.engine().set_choice_source(&guide);
+    sim.engine().set_tie_break(&guided_ties);
+    std::cout << "replaying " << sched.size() << " scheduled choice(s) from "
+              << schedule_path << "\n";
+  }
 
   trace::EventLog elog;
   trace::Tracer tracer(/*node_filter=*/-1);
@@ -176,7 +209,8 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const std::vector<std::string> typos = flags.unknown(
       {"list-rules", "rules", "all-presets", "kernel", "cosched", "scenario",
-       "admin", "schedtune", "trace-run", "trace-calls", "verbose"});
+       "admin", "schedtune", "trace-run", "trace-calls", "schedule",
+       "verbose"});
   if (!typos.empty()) {
     std::cerr << "pasched-lint: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
@@ -186,7 +220,8 @@ int main(int argc, char** argv) {
                  " [--cosched=paper|io-aware|none]\n"
                  "       [--scenario=ale3d-naive|ale3d-tuned]"
                  " [--admin=FILE] [--schedtune]\n"
-                 "       [--trace-run] [--trace-calls=N] [--verbose]\n";
+                 "       [--trace-run] [--trace-calls=N] [--schedule=FILE]"
+                 " [--verbose]\n";
     return 64;
   }
 
@@ -223,7 +258,8 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("trace-run", false))
     return run_trace_analysis(
-        static_cast<int>(flags.get_int("trace-calls", 400)), verbose);
+        static_cast<int>(flags.get_int("trace-calls", 400)), verbose,
+        flags.get("schedule", ""));
 
   if (!admin.empty()) return lint_admin_file(admin, rules);
 
