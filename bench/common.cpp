@@ -28,6 +28,7 @@ RunResult run_aggregate(const RunSpec& spec) {
   cfg.job.seed = spec.seed * 7919 + 13;
   cfg.use_coscheduler = spec.use_cosched;
   cfg.cosched = spec.cosched;
+  cfg.parallel = spec.parallel;
 
   if (spec.lint_before_run) {
     analysis::LintConfig lc;

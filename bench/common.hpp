@@ -40,6 +40,9 @@ struct RunSpec {
   /// simulation. Findings print to stderr; ERROR findings throw — a bench
   /// must not silently measure a configuration the paper calls broken.
   bool lint_before_run = false;
+  /// 0 = classic single event queue; N >= 1 = partitioned execution with N
+  /// worker threads (see SimulationConfig::parallel).
+  int parallel = 0;
 };
 
 struct RunResult {

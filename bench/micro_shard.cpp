@@ -1,0 +1,125 @@
+// Microbenchmark of partitioned execution: a fig5-style run (prototype
+// kernel + co-scheduler, aggregate_trace workload) on a 64-node cluster,
+// executed under the classic single event queue and under --parallel=N for
+// N in {1, 2, 4, 8}. Reports wall-clock time and event throughput per mode
+// and writes BENCH_shard.json next to the binary's working directory.
+//
+// The speedup column is only meaningful on a machine with enough cores;
+// hardware_concurrency is recorded in the JSON so results are interpreted
+// honestly (on a single-core container --parallel=8 *cannot* beat legacy).
+//
+//   ./micro_shard [--nodes=64] [--tasks-per-node=16] [--calls=24] [--seed=1]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/presets.hpp"
+#include "util/flags.hpp"
+
+using namespace pasched;
+
+namespace {
+
+struct ModeResult {
+  std::string name;
+  int parallel = 0;
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  bool completed = false;
+  double mean_us = 0;  // per-Allreduce mean: must agree across modes
+};
+
+ModeResult run_mode(bench::RunSpec spec, const std::string& name,
+                    int parallel) {
+  spec.parallel = parallel;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bench::RunResult r = bench::run_aggregate(spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  ModeResult m;
+  m.name = name;
+  m.parallel = parallel;
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  m.events = r.events;
+  m.completed = r.completed;
+  m.mean_us = r.mean_us;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  bench::RunSpec spec;
+  spec.nodes = static_cast<int>(flags.get_int("nodes", 64));
+  spec.tasks_per_node = static_cast<int>(flags.get_int("tasks-per-node", 16));
+  spec.calls = static_cast<int>(flags.get_int("calls", 24));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.tunables = core::prototype_kernel();
+  spec.use_cosched = true;
+  spec.cosched = core::paper_cosched();
+  spec.warmup = sim::Duration::ms(500);  // keep the sweep snappy
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::banner("micro_shard: partitioned-core scaling",
+                "engine microbenchmark (no paper figure)");
+  std::cout << "nodes=" << spec.nodes << " tasks=" << spec.nodes * spec.tasks_per_node
+            << " calls=" << spec.calls << " hardware_concurrency=" << hw
+            << "\n\n";
+
+  std::vector<ModeResult> modes;
+  modes.push_back(run_mode(spec, "legacy", 0));
+  for (const int n : {1, 2, 4, 8})
+    modes.push_back(run_mode(spec, "parallel" + std::to_string(n), n));
+
+  std::cout << "mode         wall_ms   events     ev/ms    mean_us\n";
+  for (const ModeResult& m : modes) {
+    std::cout << m.name << std::string(m.name.size() < 12 ? 12 - m.name.size() : 1, ' ')
+              << m.wall_ms << "  " << m.events << "  "
+              << (m.wall_ms > 0 ? static_cast<double>(m.events) / m.wall_ms : 0)
+              << "  " << m.mean_us << (m.completed ? "" : "  [INCOMPLETE]")
+              << "\n";
+  }
+  const double speedup8 =
+      modes.back().wall_ms > 0 ? modes.front().wall_ms / modes.back().wall_ms
+                               : 0.0;
+  std::cout << "\nspeedup parallel8 vs legacy: " << speedup8 << "x (on "
+            << hw << " hardware threads)\n";
+
+  std::ofstream js("BENCH_shard.json");
+  js << "{\n  \"bench\": \"micro_shard\",\n"
+     << "  \"nodes\": " << spec.nodes << ",\n"
+     << "  \"tasks\": " << spec.nodes * spec.tasks_per_node << ",\n"
+     << "  \"calls\": " << spec.calls << ",\n"
+     << "  \"hardware_concurrency\": " << hw << ",\n"
+     << "  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    js << "    {\"mode\": \"" << m.name << "\", \"parallel\": " << m.parallel
+       << ", \"wall_ms\": " << m.wall_ms << ", \"events\": " << m.events
+       << ", \"completed\": " << (m.completed ? "true" : "false") << "}"
+       << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n  \"speedup_parallel8_vs_legacy\": " << speedup8 << "\n}\n";
+  std::cout << "wrote BENCH_shard.json\n";
+
+  // Cross-mode sanity: the simulated physics must not depend on the mode.
+  for (const ModeResult& m : modes) {
+    if (!m.completed) {
+      std::cerr << "micro_shard: mode " << m.name << " did not complete\n";
+      return 1;
+    }
+    if (m.mean_us != modes[1].mean_us) {
+      std::cerr << "micro_shard: mode " << m.name
+                << " disagrees with parallel1 on mean Allreduce time\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,6 +3,11 @@
 // plus co-scheduler — and compare mean per-Allreduce time.
 //
 //   ./quickstart [--nodes=8] [--tasks-per-node=16] [--calls=400] [--seed=1]
+//               [--parallel=N]
+//
+// --parallel=0 (default) runs the classic single event queue; N >= 1 runs
+// the partitioned per-node-shard engine with N worker threads. The results
+// are bit-identical either way — only wall-clock time may differ.
 #include <iostream>
 
 #include "apps/aggregate_trace.hpp"
@@ -24,7 +29,7 @@ struct RunOutcome {
 };
 
 RunOutcome run_once(int nodes, int tpn, int calls, std::uint64_t seed,
-                    bool prototype) {
+                    bool prototype, int parallel) {
   core::SimulationConfig cfg;
   cfg.cluster = cluster::presets::frost(nodes);
   cfg.cluster.seed = seed;
@@ -34,6 +39,7 @@ RunOutcome run_once(int nodes, int tpn, int calls, std::uint64_t seed,
   cfg.job.tasks_per_node = tpn;
   cfg.use_coscheduler = prototype;
   cfg.cosched = core::paper_cosched();
+  cfg.parallel = parallel;
 
   apps::AggregateTraceConfig at;
   at.loops = 1;
@@ -57,12 +63,15 @@ int main(int argc, char** argv) {
   const int tpn = static_cast<int>(flags.get_int("tasks-per-node", 16));
   const int calls = static_cast<int>(flags.get_int("calls", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int parallel = static_cast<int>(flags.get_int("parallel", 0));
 
   std::cout << "pasched quickstart: " << nodes << " nodes x " << tpn
-            << " tasks, " << calls << " Allreduces\n\n";
+            << " tasks, " << calls << " Allreduces";
+  if (parallel > 0) std::cout << " (partitioned, " << parallel << " workers)";
+  std::cout << "\n\n";
 
-  const RunOutcome vanilla = run_once(nodes, tpn, calls, seed, false);
-  const RunOutcome proto = run_once(nodes, tpn, calls, seed, true);
+  const RunOutcome vanilla = run_once(nodes, tpn, calls, seed, false, parallel);
+  const RunOutcome proto = run_once(nodes, tpn, calls, seed, true, parallel);
 
   util::Table t({"configuration", "mean allreduce (us)", "worst (us)",
                  "job time (s)"});

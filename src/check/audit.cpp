@@ -27,7 +27,7 @@ std::string ConservationReport::str() const {
 }
 
 ConservationReport Auditor::conservation(const kern::Kernel& k) {
-  const Time now = k.engine_.now();
+  const Time now = k.engine().now();
   ConservationReport r;
   r.ncpus = k.ncpus();
   r.wall = now - k.acct_start_;
@@ -48,7 +48,7 @@ ConservationReport Auditor::conservation(const kern::Kernel& k) {
     }
     r.busy += now - c.run_start;
     const kern::Thread& t = *c.current;
-    if (k.engine_.pending(t.burst_event_)) {
+    if (k.engine().pending(t.burst_event_)) {
       const Duration remaining = std::clamp(t.burst_deadline_ - now,
                                             Duration::zero(), t.burst_len_);
       r.in_flight += t.burst_len_ - remaining;
@@ -135,7 +135,7 @@ void Auditor::verify_runqueues(const kern::Kernel& k) {
             t->running_on_ == kern::kNoCpu,
             t->name() + " is off-CPU yet claims a running_on CPU");
         PASCHED_CHECK_ALWAYS_MSG(
-            !k.engine_.pending(t->burst_event_),
+            !k.engine().pending(t->burst_event_),
             t->name() + " is off-CPU yet has a pending burst event");
         break;
     }

@@ -7,12 +7,30 @@
 namespace pasched::cluster {
 
 Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg)
-    : engine_(engine), cfg_(cfg), switch_clock_(engine), rng_(cfg.seed) {
+    : owned_router_(std::make_unique<sim::SingleRouter>(engine)),
+      router_(owned_router_.get()),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  build(cfg);
+}
+
+Cluster::Cluster(sim::Router& router, const ClusterConfig& cfg)
+    : router_(&router), cfg_(cfg), rng_(cfg.seed) {
+  PASCHED_EXPECTS_MSG(router.partitions() >= cfg.nodes,
+                      "router does not partition every node");
+  build(cfg);
+}
+
+void Cluster::build(const ClusterConfig& cfg) {
   PASCHED_EXPECTS(cfg.nodes > 0);
-  fabric_ = std::make_unique<net::Fabric>(engine, cfg.fabric, rng_.fork(1));
+  switch_clock_ = std::make_unique<net::SwitchClock>(router_->engine_of(0));
+  fabric_ = std::make_unique<net::Fabric>(*router_, cfg.fabric, rng_.fork(1),
+                                          cfg.nodes);
   for (int i = 0; i < cfg.nodes; ++i) {
+    const int shard = router_->shard_of_node(i);
     nodes_.push_back(std::make_unique<Node>(
-        engine, i, cfg.node, rng_.fork(100 + static_cast<std::uint64_t>(i))));
+        sim::EventContext(router_->engine_of(shard), *router_, shard), i,
+        cfg.node, rng_.fork(100 + static_cast<std::uint64_t>(i))));
   }
 }
 
@@ -25,7 +43,7 @@ sim::Duration Cluster::synchronize_clocks() {
   sim::Rng sync_rng = rng_.fork(7);
   for (auto& n : nodes_) {
     const sim::Duration residual = net::synchronize(
-        n->kernel().clock(), switch_clock_, cfg_.clock_sync, sync_rng);
+        n->kernel().clock(), *switch_clock_, cfg_.clock_sync, sync_rng);
     worst = std::max(worst, residual < sim::Duration::zero() ? -residual
                                                              : residual);
   }

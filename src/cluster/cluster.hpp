@@ -8,6 +8,7 @@
 #include "cluster/node.hpp"
 #include "net/clock_sync.hpp"
 #include "net/fabric.hpp"
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 
@@ -23,7 +24,12 @@ struct ClusterConfig {
 
 class Cluster {
  public:
+  /// Classic mode: one engine runs every node (a SingleRouter is installed
+  /// internally so the code paths above are identical in both modes).
   Cluster(sim::Engine& engine, const ClusterConfig& cfg);
+  /// Partitioned mode: `router` (e.g. sim::ShardedEngine) assigns each node
+  /// its own engine shard; the fabric posts deliveries across shards.
+  Cluster(sim::Router& router, const ClusterConfig& cfg);
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -41,18 +47,24 @@ class Cluster {
   [[nodiscard]] Node& node(kern::NodeId id);
   [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
   [[nodiscard]] const net::SwitchClock& switch_clock() const noexcept {
-    return switch_clock_;
+    return *switch_clock_;
   }
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  /// Shard 0's engine: in classic mode this is *the* engine; in partitioned
+  /// mode it is node 0's shard (all shard clocks agree outside windows).
+  [[nodiscard]] sim::Engine& engine() noexcept { return router_->engine_of(0); }
+  [[nodiscard]] sim::Router& router() noexcept { return *router_; }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
 
   /// True if any node's deadline-bearing daemon exceeded its tolerance.
   [[nodiscard]] bool any_node_evicted() const;
 
  private:
-  sim::Engine& engine_;
+  void build(const ClusterConfig& cfg);
+
+  std::unique_ptr<sim::SingleRouter> owned_router_;  // classic mode only
+  sim::Router* router_;
   ClusterConfig cfg_;
-  net::SwitchClock switch_clock_;
+  std::unique_ptr<net::SwitchClock> switch_clock_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::Rng rng_;

@@ -4,13 +4,13 @@
 
 namespace pasched::cluster {
 
-Node::Node(sim::Engine& engine, kern::NodeId id, const NodeConfig& cfg,
+Node::Node(sim::EventContext ctx, kern::NodeId id, const NodeConfig& cfg,
            sim::Rng rng)
     : id_(id) {
   PASCHED_EXPECTS(cfg.ncpus > 0);
   const sim::Duration offset =
       rng.uniform_dur(sim::Duration::zero(), cfg.max_clock_offset);
-  kernel_ = std::make_unique<kern::Kernel>(engine, id, cfg.ncpus,
+  kernel_ = std::make_unique<kern::Kernel>(ctx, id, cfg.ncpus,
                                            cfg.tunables, offset,
                                            rng.next_u64());
   if (cfg.install_daemons) {

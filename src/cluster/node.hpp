@@ -6,6 +6,7 @@
 
 #include "daemons/registry.hpp"
 #include "kern/kernel.hpp"
+#include "sim/context.hpp"
 #include "sim/random.hpp"
 
 namespace pasched::cluster {
@@ -23,7 +24,10 @@ struct NodeConfig {
 
 class Node {
  public:
-  Node(sim::Engine& engine, kern::NodeId id, const NodeConfig& cfg,
+  /// `ctx` is the node's scheduling handle — in partitioned mode, the engine
+  /// shard that owns this node (implicitly constructible from a bare
+  /// Engine& for single-engine use).
+  Node(sim::EventContext ctx, kern::NodeId id, const NodeConfig& cfg,
        sim::Rng rng);
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;

@@ -175,7 +175,7 @@ void CoschedManager::register_task(kern::NodeId node, kern::Thread& t) {
   CoScheduler& cs = node_cosched(node);
   kern::Thread* tp = &t;
   CoScheduler* csp = &cs;
-  cluster_.engine().schedule_after(cfg_.pipe_delay,
+  cluster_.node(node).kernel().context().schedule_after(cfg_.pipe_delay,
                                    [csp, tp] { csp->register_task(*tp); });
 }
 
@@ -183,7 +183,7 @@ void CoschedManager::detach_task(kern::NodeId node, kern::Thread& t) {
   CoScheduler& cs = node_cosched(node);
   kern::Thread* tp = &t;
   CoScheduler* csp = &cs;
-  cluster_.engine().schedule_after(cfg_.pipe_delay,
+  cluster_.node(node).kernel().context().schedule_after(cfg_.pipe_delay,
                                    [csp, tp] { csp->detach(*tp); });
 }
 
@@ -191,7 +191,7 @@ void CoschedManager::attach_task(kern::NodeId node, kern::Thread& t) {
   CoScheduler& cs = node_cosched(node);
   kern::Thread* tp = &t;
   CoScheduler* csp = &cs;
-  cluster_.engine().schedule_after(cfg_.pipe_delay,
+  cluster_.node(node).kernel().context().schedule_after(cfg_.pipe_delay,
                                    [csp, tp] { csp->attach(*tp); });
 }
 

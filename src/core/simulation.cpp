@@ -2,14 +2,25 @@
 
 #include <iostream>
 
+#include "net/fabric.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::core {
 
 Simulation::Simulation(SimulationConfig cfg, const mpi::WorkloadFactory& factory)
     : cfg_(std::move(cfg)) {
-  engine_ = std::make_unique<sim::Engine>();
-  cluster_ = std::make_unique<cluster::Cluster>(*engine_, cfg_.cluster);
+  if (cfg_.parallel > 0) {
+    PASCHED_EXPECTS_MSG(
+        cfg_.cluster.fabric.link_bandwidth == 0.0,
+        "link_bandwidth contention is sequential-only; unset it or drop "
+        "--parallel");
+    sharded_ = std::make_unique<sim::ShardedEngine>(
+        cfg_.cluster.nodes, net::guaranteed_lookahead(cfg_.cluster.fabric));
+    cluster_ = std::make_unique<cluster::Cluster>(*sharded_, cfg_.cluster);
+  } else {
+    engine_ = std::make_unique<sim::Engine>();
+    cluster_ = std::make_unique<cluster::Cluster>(*engine_, cfg_.cluster);
+  }
   job_ = std::make_unique<mpi::Job>(*cluster_, cfg_.job, factory);
 
   if (!cfg_.mp_priority.empty()) {
@@ -46,11 +57,17 @@ SimulationResult Simulation::run() {
   ran_ = true;
   cluster_->start();
   job_->launch();
-  engine_->run_until(engine_->now() + cfg_.horizon);
+  if (sharded_ != nullptr) {
+    sharded_->run_until(sharded_->engine_of(0).now() + cfg_.horizon,
+                        cfg_.parallel);
+  } else {
+    engine_->run_until(engine_->now() + cfg_.horizon);
+  }
   SimulationResult r;
   r.completed = job_->complete();
   r.elapsed = r.completed ? job_->elapsed() : cfg_.horizon;
-  r.events = engine_->events_processed();
+  r.events = sharded_ != nullptr ? sharded_->events_processed()
+                                 : engine_->events_processed();
   r.any_node_evicted = cluster_->any_node_evicted();
   return r;
 }

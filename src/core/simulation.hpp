@@ -12,6 +12,7 @@
 #include "core/coscheduler.hpp"
 #include "mpi/job.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
 
 namespace pasched::core {
 
@@ -34,6 +35,13 @@ struct SimulationConfig {
   /// Hard wall on simulated time (guards against configuration deadlocks
   /// and total daemon starvation).
   sim::Duration horizon = sim::Duration::sec(3600);
+
+  /// Partitioned execution: 0 = classic single event queue; N >= 1 = one
+  /// event shard per node (plus the switch hub) driven by N worker threads
+  /// under conservative lookahead windows. `--parallel=1` exercises the
+  /// partitioned machinery on one thread and must match `--parallel=N`
+  /// bit for bit. Incompatible with fabric link_bandwidth contention.
+  int parallel = 0;
 };
 
 struct SimulationResult {
@@ -53,7 +61,8 @@ class Simulation {
   /// Launches the job and runs until completion (or the horizon).
   SimulationResult run();
 
-  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  /// Shard 0's engine (the only engine in classic mode).
+  [[nodiscard]] sim::Engine& engine() noexcept { return cluster_->engine(); }
   [[nodiscard]] cluster::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] mpi::Job& job() noexcept { return *job_; }
   /// nullptr when the co-scheduler is not engaged.
@@ -66,7 +75,8 @@ class Simulation {
 
  private:
   SimulationConfig cfg_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::Engine> engine_;          // classic mode
+  std::unique_ptr<sim::ShardedEngine> sharded_;  // --parallel mode
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<mpi::Job> job_;
   std::unique_ptr<CoschedManager> cosched_;

@@ -25,13 +25,13 @@ bool better(const Thread& a, std::uint64_t seq_a, const Thread& b,
 
 }  // namespace
 
-Kernel::Kernel(sim::Engine& engine, NodeId node, int ncpus, Tunables tunables,
+Kernel::Kernel(sim::EventContext ctx, NodeId node, int ncpus, Tunables tunables,
                Duration clock_offset, std::uint64_t tick_phase_seed)
-    : engine_(engine), node_(node), tun_(tunables), clock_(clock_offset) {
+    : ctx_(ctx), node_(node), tun_(tunables), clock_(clock_offset) {
   PASCHED_EXPECTS(ncpus > 0);
   PASCHED_EXPECTS(tun_.big_tick >= 1);
   cpus_.resize(static_cast<std::size_t>(ncpus));
-  acct_start_ = engine_.now();
+  acct_start_ = ctx_.now();
   for (Cpu& c : cpus_) c.idle_since = acct_start_;
   const std::int64_t interval = tun_.tick_interval().count();
   unaligned_phase_ = Duration::ns(
@@ -49,8 +49,8 @@ void Kernel::start() {
   // seed-derived accident. Gated on !cluster_aligned_ticks so configs that
   // align ticks (and runs without a ChoiceSource) keep the seeded behavior
   // and contribute no spurious branches to the choice tree.
-  if (!tun_.cluster_aligned_ticks && engine_.choice_source() != nullptr) {
-    const std::size_t bucket = engine_.choice_source()->choose(
+  if (!tun_.cluster_aligned_ticks && ctx_.choice_source() != nullptr) {
+    const std::size_t bucket = ctx_.choice_source()->choose(
         kTickPhaseBuckets, "kern.tick_phase");
     unaligned_phase_ = tun_.tick_interval() *
                        static_cast<std::int64_t>(bucket) /
@@ -100,7 +100,7 @@ void Kernel::enqueue(Thread& t) {
     cpus_[static_cast<std::size_t>(t.home_cpu())].runq.push_back(&t);
   }
   if (observer_ != nullptr)
-    observer_->on_state(engine_.now(), node_, t, ThreadState::Ready);
+    observer_->on_state(ctx_.now(), node_, t, ThreadState::Ready);
 }
 
 void Kernel::remove_from_queue(Thread& t) {
@@ -141,7 +141,7 @@ void Kernel::dispatch(CpuId cpu) {
   PASCHED_ASSERT(c.current == nullptr);
   Thread* t = peek_best(cpu, /*allow_steal=*/true);
   if (t == nullptr) {
-    if (observer_ != nullptr) observer_->on_idle(engine_.now(), node_, cpu);
+    if (observer_ != nullptr) observer_->on_idle(ctx_.now(), node_, cpu);
     return;
   }
   remove_from_queue(*t);
@@ -150,15 +150,15 @@ void Kernel::dispatch(CpuId cpu) {
   set_state(*t, ThreadState::Running);
   t->running_on_ = cpu;
   t->dispatches_++;
-  acct_.idle_cpu += engine_.now() - c.idle_since;
+  acct_.idle_cpu += ctx_.now() - c.idle_since;
   c.current = t;
-  c.run_start = engine_.now();
+  c.run_start = ctx_.now();
   t->pending_switch_cost_ =
       (c.last_run == t) ? Duration::zero() : tun_.context_switch_cost;
   c.last_run = t;
   ++acct_.dispatches;
   if (observer_ != nullptr)
-    observer_->on_dispatch(engine_.now(), node_, cpu, *t);
+    observer_->on_dispatch(ctx_.now(), node_, cpu, *t);
   continue_run(cpu, *t);
 }
 
@@ -166,7 +166,7 @@ void Kernel::continue_run(CpuId cpu, Thread& t) {
   if (t.residual_ > Duration::zero()) {
     arm_burst(cpu, t);
   } else if (t.spin_waiting_) {
-    t.spin_start_ = engine_.now();  // resume spinning; charge from here
+    t.spin_start_ = ctx_.now();  // resume spinning; charge from here
   } else {
     advance_client(cpu, t);
   }
@@ -174,7 +174,7 @@ void Kernel::continue_run(CpuId cpu, Thread& t) {
 
 void Kernel::advance_client(CpuId cpu, Thread& t) {
   PASCHED_ASSERT(cpus_[static_cast<std::size_t>(cpu)].current == &t);
-  const RunDecision d = t.client_->next(engine_.now());
+  const RunDecision d = t.client_->next(ctx_.now());
   switch (d.kind) {
     case RunDecision::Kind::Compute: {
       PASCHED_EXPECTS_MSG(d.amount > Duration::zero(),
@@ -190,7 +190,7 @@ void Kernel::advance_client(CpuId cpu, Thread& t) {
     }
     case RunDecision::Kind::Spin:
       t.spin_waiting_ = true;
-      t.spin_start_ = engine_.now();
+      t.spin_start_ = ctx_.now();
       return;
     case RunDecision::Kind::Block:
       block_current(cpu, ThreadState::Blocked);
@@ -205,9 +205,9 @@ void Kernel::arm_burst(CpuId cpu, Thread& t) {
   const Duration total = t.pending_switch_cost_ + t.residual_;
   t.pending_switch_cost_ = Duration::zero();
   t.burst_len_ = total;
-  t.burst_deadline_ = engine_.now() + total;
+  t.burst_deadline_ = ctx_.now() + total;
   Thread* tp = &t;
-  t.burst_event_ = engine_.schedule_at(
+  t.burst_event_ = ctx_.schedule_at(
       t.burst_deadline_, [this, cpu, tp] { on_burst_end(cpu, *tp); });
 }
 
@@ -224,7 +224,7 @@ void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
   Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   Thread* t = c.current;
   PASCHED_ASSERT(t != nullptr);
-  if (engine_.pending(t->burst_event_)) {
+  if (ctx_.pending(t->burst_event_)) {
     // Tick interrupts push the deadline out, so wall-time-remaining can
     // exceed the nominal work; clamp so work is conserved and the charge
     // stays non-negative. When the thread leaves before the elapsed wall
@@ -232,22 +232,22 @@ void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
     // the very timestamp of the push), the overhang was booked as
     // tick_stretch but never occupied the CPU — deduct it so the
     // conservation ledger stays exact.
-    const Duration raw = t->burst_deadline_ - engine_.now();
+    const Duration raw = t->burst_deadline_ - ctx_.now();
     const Duration remaining =
         std::clamp(raw, Duration::zero(), t->burst_len_);
     if (raw > t->burst_len_) acct_.tick_stretch -= raw - t->burst_len_;
-    engine_.cancel(t->burst_event_);
+    ctx_.cancel(t->burst_event_);
     t->burst_event_ = sim::EventId{};
     if (charge_time) charge(*t, t->burst_len_ - remaining);
     t->residual_ = remaining;
     t->burst_len_ = Duration::zero();
   } else if (t->spin_waiting_) {
-    if (charge_time) charge(*t, engine_.now() - t->spin_start_);
+    if (charge_time) charge(*t, ctx_.now() - t->spin_start_);
   }
   t->running_on_ = kNoCpu;
   c.current = nullptr;
-  acct_.busy_cpu += engine_.now() - c.run_start;
-  c.idle_since = engine_.now();
+  acct_.busy_cpu += ctx_.now() - c.run_start;
+  c.idle_since = ctx_.now();
 }
 
 void Kernel::preempt(CpuId cpu) {
@@ -257,7 +257,7 @@ void Kernel::preempt(CpuId cpu) {
   take_off_cpu(cpu, /*charge=*/true);
   enqueue(*t);
   ++acct_.preemptions;
-  if (observer_ != nullptr) observer_->on_preempt(engine_.now(), node_, cpu, *t);
+  if (observer_ != nullptr) observer_->on_preempt(ctx_.now(), node_, cpu, *t);
   dispatch(cpu);
   // The displaced thread may immediately continue on an idle CPU (AIX idle
   // processors "beneficially steal" ready work).
@@ -274,7 +274,7 @@ void Kernel::block_current(CpuId cpu, ThreadState new_state) {
   take_off_cpu(cpu, /*charge=*/true);
   set_state(*t, new_state);
   if (observer_ != nullptr)
-    observer_->on_state(engine_.now(), node_, *t, new_state);
+    observer_->on_state(ctx_.now(), node_, *t, new_state);
   dispatch(cpu);
 }
 
@@ -293,7 +293,7 @@ void Kernel::kick(Thread& t) {
   if (!t.spin_waiting_) return;  // nothing waiting (message already consumed)
   t.spin_waiting_ = false;
   if (t.state_ == ThreadState::Running) {
-    charge(t, engine_.now() - t.spin_start_);
+    charge(t, ctx_.now() - t.spin_start_);
     advance_client(t.running_on_, t);
   }
   // If Ready (preempted while spinning): the next dispatch will consult the
@@ -313,7 +313,7 @@ void Kernel::set_priority(Thread& t, Priority prio, bool fixed,
       // Reverse pre-emption: the running thread just became less favored
       // than a waiter (§3, deficiency 1 of the stock RT option).
       if (actor_cpu == c) {
-        engine_.schedule_after(Duration::zero(),
+        ctx_.schedule_after(Duration::zero(),
                                [this, c] { notice_resched(c); });
       } else if (tun_.rt_scheduling && tun_.rt_reverse_preemption) {
         send_preempt_ipi(c, *best);
@@ -341,7 +341,7 @@ void Kernel::after_enqueue(Thread& t, CpuId waker_cpu) {
     // already entered there, so the switch happens at the next dispatch
     // point (modelled as a zero-delay reschedule).
     const CpuId c = target;
-    engine_.schedule_after(Duration::zero(), [this, c] { notice_resched(c); });
+    ctx_.schedule_after(Duration::zero(), [this, c] { notice_resched(c); });
   } else if (tun_.rt_scheduling) {
     send_preempt_ipi(target, t);
   }
@@ -398,9 +398,9 @@ void Kernel::send_preempt_ipi(CpuId target, Thread& on_behalf) {
   }
   c.ipi_pending = true;
   ++acct_.ipis_sent;
-  engine_.schedule_after(tun_.ipi_latency, [this, target] {
+  ctx_.schedule_after(tun_.ipi_latency, [this, target] {
     cpus_[static_cast<std::size_t>(target)].ipi_pending = false;
-    if (observer_ != nullptr) observer_->on_ipi(engine_.now(), node_, target);
+    if (observer_ != nullptr) observer_->on_ipi(ctx_.now(), node_, target);
     notice_resched(target);
   });
 }
@@ -418,7 +418,7 @@ void Kernel::notice_resched(CpuId cpu) {
   if (bp < cp) {
     preempt(cpu);
   } else if (bp == cp &&
-             engine_.now() - c.run_start >= tun_.timeslice) {
+             ctx_.now() - c.run_start >= tun_.timeslice) {
     preempt(cpu);  // round-robin among equals at timeslice expiry
   }
 }
@@ -442,7 +442,7 @@ void Kernel::arm_tick(CpuId cpu) {
   const Time next_local =
       (local_now() + Duration::ns(1)).align_up(interval, phase);
   cpus_[static_cast<std::size_t>(cpu)].next_tick_local = next_local;
-  engine_.schedule_at(clock_.global_of(next_local),
+  ctx_.schedule_at(clock_.global_of(next_local),
                       [this, cpu] { on_tick(cpu); });
 }
 
@@ -451,17 +451,17 @@ void Kernel::on_tick(CpuId cpu) {
   ++acct_.ticks_taken;
   const Duration cost = tun_.effective_tick_cost();
   acct_.tick_cpu += cost;
-  if (observer_ != nullptr) observer_->on_tick(engine_.now(), node_, cpu);
+  if (observer_ != nullptr) observer_->on_tick(ctx_.now(), node_, cpu);
 
   // The interrupt steals time from whatever is running: push an in-progress
   // burst's completion out by the handler cost.
-  if (c.current != nullptr && engine_.pending(c.current->burst_event_)) {
+  if (c.current != nullptr && ctx_.pending(c.current->burst_event_)) {
     Thread& t = *c.current;
-    engine_.cancel(t.burst_event_);
+    ctx_.cancel(t.burst_event_);
     acct_.tick_stretch += cost;
     t.burst_deadline_ += cost;
     Thread* tp = &t;
-    t.burst_event_ = engine_.schedule_at(
+    t.burst_event_ = ctx_.schedule_at(
         t.burst_deadline_, [this, cpu, tp] { on_burst_end(cpu, *tp); });
   }
 

@@ -14,6 +14,7 @@
 #include "kern/thread.hpp"
 #include "kern/tunables.hpp"
 #include "kern/types.hpp"
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 
 namespace pasched::check {
@@ -49,8 +50,10 @@ class Kernel {
  public:
   /// `tick_phase_seed` randomizes where this node's tick pattern starts in
   /// the absence of cluster alignment (real machines boot at different
-  /// times).
-  Kernel(sim::Engine& engine, NodeId node, int ncpus, Tunables tunables,
+  /// times). `ctx` is this node's scheduling handle — the engine shard that
+  /// owns the node's events (implicitly constructible from a bare Engine&
+  /// for single-shard use). Everything the kernel schedules is node-local.
+  Kernel(sim::EventContext ctx, NodeId node, int ncpus, Tunables tunables,
          sim::Duration clock_offset, std::uint64_t tick_phase_seed);
   ~Kernel();
   Kernel(const Kernel&) = delete;
@@ -91,7 +94,13 @@ class Kernel {
   void schedule_callout(CpuId cpu, sim::Time due_local, sim::Engine::Callback fn);
 
   // -- queries ----------------------------------------------------------------
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return *ctx_.engine; }
+  [[nodiscard]] const sim::Engine& engine() const noexcept {
+    return *ctx_.engine;
+  }
+  [[nodiscard]] const sim::EventContext& context() const noexcept {
+    return ctx_;
+  }
   [[nodiscard]] NodeId node_id() const noexcept { return node_; }
   [[nodiscard]] int ncpus() const noexcept {
     return static_cast<int>(cpus_.size());
@@ -100,7 +109,7 @@ class Kernel {
   [[nodiscard]] LocalClock& clock() noexcept { return clock_; }
   [[nodiscard]] const LocalClock& clock() const noexcept { return clock_; }
   [[nodiscard]] sim::Time local_now() const {
-    return clock_.local_of(engine_.now());
+    return clock_.local_of(ctx_.now());
   }
   [[nodiscard]] Thread* running_on(CpuId cpu) const;
   [[nodiscard]] const Accounting& accounting() const noexcept { return acct_; }
@@ -162,7 +171,7 @@ class Kernel {
   // Accounting.
   void charge(Thread& t, sim::Duration amount);
 
-  sim::Engine& engine_;
+  sim::EventContext ctx_;
   NodeId node_;
   Tunables tun_;
   LocalClock clock_;

@@ -25,6 +25,7 @@ Job::Job(cluster::Cluster& cluster, JobConfig cfg,
           cluster_.node(cfg_.first_node).kernel().ncpus(),
       "tasks_per_node exceeds CPUs per node");
   sim::Rng job_rng(cfg_.seed);
+  spans_.resize(static_cast<std::size_t>(cfg_.ntasks));
   for (int rank = 0; rank < cfg_.ntasks; ++rank) {
     const int node_id = cfg_.first_node + rank / cfg_.tasks_per_node;
     const kern::CpuId cpu = rank % cfg_.tasks_per_node;
@@ -63,7 +64,7 @@ void Job::inject(Task& from, int dst_rank, std::uint64_t tag,
   const int src_rank = from.rank();
   if (elog_ != nullptr) {
     trace::Event e;
-    e.t = cluster_.engine().now();
+    e.t = from.node().kernel().engine().now();  // the sender's shard clock
     e.kind = trace::EventKind::MsgSend;
     e.node = from.node().id();
     e.cpu = from.thread().running_on();
@@ -89,9 +90,13 @@ void Job::submit_io(Task& t, std::size_t bytes) {
   const int shards =
       std::min(cfg_.io_remote_shards, cluster_.size() - 1);
   Task* tp = &t;
-  auto remaining = std::make_shared<int>(1 + std::max(0, shards));
-  auto done_one = [tp, remaining] {
-    if (--*remaining == 0) tp->io_complete();
+  // The countdown only ever runs on the task's home shard: the local
+  // daemon completes there, and remote shards acknowledge back over the
+  // fabric (like a GPFS server reply) rather than completing in place —
+  // so no atomics are needed and the wakeup lands on the right engine.
+  auto wait = std::make_shared<int>(1 + std::max(0, shards));
+  auto done_one = [tp, wait] {
+    if (--*wait == 0) tp->io_complete();
   };
   const std::size_t share =
       bytes / static_cast<std::size_t>(1 + std::max(0, shards));
@@ -101,57 +106,105 @@ void Job::submit_io(Task& t, std::size_t bytes) {
     // Deterministic shard placement spread over the cluster.
     const int peer =
         (home + 1 + (t.rank() + s) % (cluster_.size() - 1)) % cluster_.size();
-    daemons::IoService* rio = cluster_.node(peer).io_service();
-    if (rio == nullptr) {
+    if (cluster_.node(peer).io_service() == nullptr) {
       done_one();
       continue;
     }
-    // Ship the data over the fabric, then let the peer daemon service it.
+    // Ship the data over the fabric, let the peer daemon service it, then
+    // ack back to the home node.
     const std::size_t sbytes = std::max<std::size_t>(share, 1);
-    cluster_.fabric().send(home, peer, sbytes, [rio, sbytes, done_one] {
-      rio->submit(sbytes, done_one);
+    Job* self = this;
+    cluster_.fabric().send(home, peer, sbytes, [self, tp, wait, sbytes, peer] {
+      daemons::IoService* rio = self->cluster_.node(peer).io_service();
+      const int h = tp->node().id();
+      rio->submit(sbytes, [self, tp, wait, peer, h] {
+        self->cluster_.fabric().send(peer, h, 1, [tp, wait] {
+          if (--*wait == 0) tp->io_complete();
+        });
+      });
     });
   }
 }
 
 void Job::hw_contribute(Task& t, std::uint64_t seq, std::size_t bytes) {
-  // Contribution travels to the switch's combine unit (one wire hop); the
-  // unit fires when the last task has contributed and broadcasts the result
-  // to every task via its adapter.
-  (void)t;
+  // Contribution travels to the switch's combine unit (one wire hop). The
+  // combine unit lives on the router's hub shard, so the count is only ever
+  // mutated there; the wire hop is at least the fabric's guaranteed
+  // lookahead, which makes this a legal cross-shard edge.
+  sim::Router& r = cluster_.router();
+  const sim::Duration wire =
+      cluster_.fabric().latency_for(0, cluster_.size() > 1 ? 1 : 0, bytes);
+  const int src = r.shard_of_node(t.node().id());
+  Job* self = this;
+  r.post(src, r.hub_shard(), r.engine_of(src).now() + wire,
+         [self, seq, bytes] { self->hw_arrive(seq, bytes); });
+}
+
+void Job::hw_arrive(std::uint64_t seq, std::size_t bytes) {
+  // Hub shard: the unit fires when the last task's contribution arrives and
+  // broadcasts the result to every task via its adapter (one more wire hop
+  // plus the combine latency) — the same end-to-end time as the classic
+  // single-queue model: t_last + 2 * wire + hw_collective_latency.
   const int got = ++hw_pending_[seq];
   if (got < ntasks()) return;
   hw_pending_.erase(seq);
+  sim::Router& r = cluster_.router();
   const sim::Duration wire =
       cluster_.fabric().latency_for(0, cluster_.size() > 1 ? 1 : 0, bytes);
-  Job* self = this;
-  cluster_.engine().schedule_after(
-      wire * 2 + cfg_.mpi.hw_collective_latency, [self, seq] {
-        for (auto& task : self->tasks_)
-          task->deposit(kHwSwitchRank, seq);
-      });
+  const int hub = r.hub_shard();
+  const sim::Time at =
+      r.engine_of(hub).now() + wire + cfg_.mpi.hw_collective_latency;
+  for (auto& task : tasks_) {
+    Task* tp = task.get();
+    r.post(hub, r.shard_of_node(tp->node().id()), at,
+           [tp, seq] { tp->deposit(kHwSwitchRank, seq); });
+  }
 }
 
 void Job::on_span(Task& t, std::uint32_t channel, std::uint64_t /*seq*/,
                   Time begin, Time end) {
   PASCHED_EXPECTS(channel < kMaxChannels);
-  const double us = (end - begin).to_us();
-  ChannelStats& ch = channels_[channel];
-  ch.all_us.add(us);
-  if (t.rank() == cfg_.record_rank) {
-    ch.recorded_us.push_back(us);
-    ch.recorded_begin.push_back(begin);
+  // Recorded per rank (shards never contend); folded into ChannelStats
+  // lazily in canonical (rank, span-sequence) order.
+  spans_[static_cast<std::size_t>(t.rank())].push_back(
+      SpanRec{channel, (end - begin).to_us(), begin});
+  channels_dirty_.store(true, std::memory_order_release);
+}
+
+void Job::rebuild_channels() const {
+  if (!channels_dirty_.load(std::memory_order_acquire)) return;
+  for (auto& ch : channels_) ch = ChannelStats{};
+  for (std::size_t rank = 0; rank < spans_.size(); ++rank) {
+    for (const SpanRec& s : spans_[rank]) {
+      ChannelStats& ch = channels_[s.channel];
+      ch.all_us.add(s.us);
+      if (static_cast<int>(rank) == cfg_.record_rank) {
+        ch.recorded_us.push_back(s.us);
+        ch.recorded_begin.push_back(s.begin);
+      }
+    }
+  }
+  channels_dirty_.store(false, std::memory_order_release);
+}
+
+void Job::task_finished(Task& t, Time now) {
+  t.finish_time_ = now;
+  if (1 + finished_.fetch_add(1, std::memory_order_acq_rel) == ntasks()) {
+    // The epilogue touches other shards' engines (aux-thread timers, the
+    // co-scheduler hook, the stop flag), so defer it to the router's next
+    // synchronization point; the SingleRouter runs it inline.
+    Job* self = this;
+    cluster_.router().request_wrapup([self] { self->wrapup(); });
   }
 }
 
-void Job::task_finished(Task& /*t*/, Time now) {
-  ++finished_;
-  if (complete()) {
-    completion_time_ = now;
-    for (auto& a : aux_) a->cancel();
-    if (hook_ != nullptr) hook_->job_ended();
-    if (cfg_.stop_engine_on_complete) cluster_.engine().stop();
-  }
+void Job::wrapup() {
+  completion_time_ = Time{};
+  for (const auto& t : tasks_)
+    completion_time_ = std::max(completion_time_, t->finish_time_);
+  for (auto& a : aux_) a->cancel();
+  if (hook_ != nullptr) hook_->job_ended();
+  if (cfg_.stop_engine_on_complete) cluster_.router().stop_all();
 }
 
 void Job::hook_detach(Task& t) {
@@ -164,6 +217,7 @@ void Job::hook_attach(Task& t) {
 
 const ChannelStats& Job::channel(std::uint32_t ch) const {
   PASCHED_EXPECTS(ch < kMaxChannels);
+  rebuild_channels();
   return channels_[ch];
 }
 

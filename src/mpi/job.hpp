@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -64,7 +65,10 @@ class Job {
   /// ids) for the offline trace analyzers; set before launch(). Pairs with
   /// trace::Tracer::set_event_log on the same log to get the full
   /// happens-before event stream.
-  void set_event_log(trace::EventLog* log) noexcept { elog_ = log; }
+  void set_event_log(trace::EventLog* log) {
+    elog_ = log;
+    if (elog_ != nullptr) elog_->ensure_nodes(cluster_.size());
+  }
   [[nodiscard]] trace::EventLog* event_log() const noexcept { return elog_; }
 
   /// Registers all tasks with the hook and wakes every task thread (and
@@ -72,7 +76,8 @@ class Job {
   void launch();
 
   [[nodiscard]] bool complete() const noexcept {
-    return finished_ == static_cast<int>(tasks_.size());
+    return finished_.load(std::memory_order_acquire) ==
+           static_cast<int>(tasks_.size());
   }
   [[nodiscard]] sim::Time launch_time() const noexcept { return launch_time_; }
   [[nodiscard]] sim::Time completion_time() const noexcept {
@@ -101,11 +106,26 @@ class Job {
   void inject(Task& from, int dst_rank, std::uint64_t tag, std::size_t bytes);
   void submit_io(Task& t, std::size_t bytes);
   void hw_contribute(Task& t, std::uint64_t seq, std::size_t bytes);
+  /// Runs on the switch's hub shard: counts contributions and broadcasts.
+  void hw_arrive(std::uint64_t seq, std::size_t bytes);
   void on_span(Task& t, std::uint32_t channel, std::uint64_t seq,
                sim::Time begin, sim::Time end);
   void task_finished(Task& t, sim::Time now);
+  /// Completion epilogue (aux cancel, hook, engine stop). Under partitioned
+  /// execution this runs at a synchronization barrier — no shard is firing
+  /// events — so it may safely touch every node's engine.
+  void wrapup();
+  void rebuild_channels() const;
   void hook_detach(Task& t);
   void hook_attach(Task& t);
+
+  /// One recorded marker span; stored per rank so shards never contend, then
+  /// folded into ChannelStats in canonical (rank, span-sequence) order.
+  struct SpanRec {
+    std::uint32_t channel;
+    double us;
+    sim::Time begin;
+  };
 
   cluster::Cluster& cluster_;
   JobConfig cfg_;
@@ -113,9 +133,11 @@ class Job {
   std::vector<std::unique_ptr<AuxThread>> aux_;
   SchedulerHook* hook_ = nullptr;
   trace::EventLog* elog_ = nullptr;
-  std::array<ChannelStats, kMaxChannels> channels_;
-  std::unordered_map<std::uint64_t, int> hw_pending_;  // seq -> contributions
-  int finished_ = 0;
+  std::vector<std::vector<SpanRec>> spans_;  // [rank], presized in ctor
+  mutable std::array<ChannelStats, kMaxChannels> channels_;
+  mutable std::atomic<bool> channels_dirty_{false};
+  std::unordered_map<std::uint64_t, int> hw_pending_;  // hub shard only
+  std::atomic<int> finished_{0};
   sim::Time launch_time_{};
   sim::Time completion_time_{};
 };

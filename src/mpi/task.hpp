@@ -40,6 +40,9 @@ class Task final : public kern::ThreadClient {
   [[nodiscard]] kern::Thread& thread() noexcept { return *thread_; }
   [[nodiscard]] cluster::Node& node() noexcept { return node_; }
   [[nodiscard]] bool finished() const noexcept { return finished_; }
+  /// Simulated time at which this task ran out of work (valid once
+  /// finished()). The job's completion time is the max over all ranks.
+  [[nodiscard]] sim::Time finish_time() const noexcept { return finish_time_; }
 
  private:
   friend class Job;
@@ -68,6 +71,7 @@ class Task final : public kern::ThreadClient {
   bool woken_for_recv_ = false;  // demand wakeup occurred (charge its cost)
   bool io_done_ = false;    // pending Io op has completed
   bool finished_ = false;
+  sim::Time finish_time_{};
   static constexpr std::uint64_t kNoWait = UINT64_MAX;
   std::uint64_t wait_key_ = kNoWait;
 

@@ -1,12 +1,21 @@
 // The cluster interconnect: a point-to-point latency/bandwidth model of the
 // SP switch plus intra-node shared-memory transport. Delivery preserves FIFO
 // order per (src, dst) pair, like the real adapter microcode.
+//
+// The fabric is one of only two cross-shard edges in partitioned execution
+// (the other is the switch's hardware-collective hub): deliveries go through
+// sim::Router::post(), and every per-message mutable state — jitter stream,
+// FIFO watermarks, statistics — lives in a per-source-node Port so sends
+// from different shards never share state.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "kern/types.hpp"
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -26,8 +35,17 @@ struct FabricConfig {
   /// ingress serialize at this bandwidth (bytes/second), so bursts of
   /// messages into one node (e.g. a reduction root) queue behind each
   /// other. 0 = contention-free (the default latency/bandwidth model).
+  /// Sequential-only: ingress serialization couples all senders to one
+  /// node, which has no lookahead, so --parallel rejects it.
   double link_bandwidth = 0.0;
 };
+
+/// Minimum latency any cross-node delivery can experience under `cfg` —
+/// inter_node_latency shrunk by the worst-case jitter draw (minus one
+/// nanosecond of float-truncation slack). This is the guaranteed lookahead
+/// the conservative parallel executor synchronizes on: a message sent at t
+/// arrives no earlier than t + guaranteed_lookahead(cfg).
+[[nodiscard]] sim::Duration guaranteed_lookahead(const FabricConfig& cfg);
 
 struct FabricStats {
   std::uint64_t messages = 0;
@@ -37,25 +55,45 @@ struct FabricStats {
 
 class Fabric {
  public:
+  /// Classic single-engine mode (owns an internal SingleRouter).
   Fabric(sim::Engine& engine, FabricConfig cfg, sim::Rng rng);
+  /// Partitioned mode: deliveries cross shards via `router`. `nodes`
+  /// presizes the per-source ports so concurrent sends never reallocate.
+  Fabric(sim::Router& router, FabricConfig cfg, sim::Rng rng, int nodes);
 
   /// Sends `bytes` from src to dst; `on_deliver` runs at the destination's
-  /// arrival time. Deliveries between the same pair never reorder.
+  /// arrival time, on the destination node's shard. Deliveries between the
+  /// same pair never reorder. Must be called from the source node's shard.
   void send(kern::NodeId src, kern::NodeId dst, std::size_t bytes,
             sim::Engine::Callback on_deliver);
 
   [[nodiscard]] sim::Duration latency_for(kern::NodeId src, kern::NodeId dst,
                                           std::size_t bytes) const;
-  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+  /// Aggregated over all source ports.
+  [[nodiscard]] FabricStats stats() const;
   [[nodiscard]] const FabricConfig& config() const noexcept { return cfg_; }
 
  private:
-  sim::Engine& engine_;
+  /// Per-source-node send state: everything send() mutates, so concurrent
+  /// sends from different shards are isolated. Seeded as a pure function of
+  /// the fabric seed and the source id — creation order does not matter.
+  struct Port {
+    explicit Port(std::uint64_t seed) : rng(seed) {}
+    sim::Rng rng;
+    FabricStats stats;
+    // FIFO watermark per destination: last scheduled delivery time.
+    std::unordered_map<std::uint32_t, sim::Time> last_delivery;
+  };
+
+  [[nodiscard]] Port& port(kern::NodeId src);
+
+  std::unique_ptr<sim::SingleRouter> owned_router_;  // classic mode only
+  sim::Router* router_;
   FabricConfig cfg_;
-  sim::Rng rng_;
-  FabricStats stats_;
-  std::unordered_map<std::uint64_t, sim::Time> last_delivery_;
-  // Link-contention state: the time each node's egress/ingress link frees up.
+  std::uint64_t port_seed_base_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  // Link-contention state: the time each node's egress/ingress link frees
+  // up. Ingress couples senders cluster-wide — sequential mode only.
   std::unordered_map<std::uint32_t, sim::Time> egress_free_;
   std::unordered_map<std::uint32_t, sim::Time> ingress_free_;
 };

@@ -55,6 +55,19 @@ void Engine::cancel(EventId id) {
                     "cancellation would be lost");
   --live_;
   release_slot(id.slot);
+  // Cancellation leaves a stale heap entry behind (lazily pruned on pop).
+  // Under cancel-heavy workloads — every tick cancels and re-arms the
+  // running burst — stale entries used to accumulate without bound. Compact
+  // once they outnumber live entries 2:1.
+  if (heap_.size() > 64 && heap_.size() > 2 * live_) compact_heap();
+}
+
+void Engine::compact_heap() {
+  std::erase_if(heap_, [this](const HeapItem& h) {
+    const Slot& s = slots_[h.slot];
+    return s.gen != h.gen || !s.armed;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), HeapLater{});
 }
 
 bool Engine::pending(EventId id) const noexcept {
@@ -191,6 +204,33 @@ bool Engine::run_until(Time deadline) {
     }
   }
   return false;
+}
+
+void Engine::run_before(Time end) {
+  PASCHED_EXPECTS(end >= now_);
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    const Slot& s = slots_[top.slot];
+    if (s.gen != top.gen || !s.armed) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+      heap_.pop_back();
+      continue;
+    }
+    if (top.t >= end) break;
+    fire_next();
+  }
+  now_ = end;
+}
+
+void Engine::drain() {
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].armed) {
+      --live_;
+      release_slot(i);
+    }
+  }
+  heap_.clear();
+  PASCHED_ASSERT(live_ == 0);
 }
 
 Time Engine::next_event_time() {

@@ -82,6 +82,25 @@ class Engine {
   /// (unless stopped earlier). Returns false if stopped before the deadline.
   bool run_until(Time deadline);
 
+  /// Runs events with timestamp strictly < `end`; afterwards now() == end.
+  /// This is the conservative-window primitive of the sharded engine: a
+  /// window [T', T'+L) is half-open so an event landing exactly on the edge
+  /// belongs to the *next* window. Ignores stop() — windows are interrupted
+  /// at barrier granularity by the shard pool, never mid-window.
+  void run_before(Time end);
+
+  /// Cancels every pending event and releases its slot. Used by the sharded
+  /// engine's teardown so shutdown never leaks armed heap entries; after
+  /// drain(), events_pending() == 0 and check_consistent() holds.
+  void drain();
+
+  /// Heap entries currently allocated (live + stale). cancel() compacts the
+  /// heap when stale entries dominate, so this stays within a small factor
+  /// of events_pending() — the regression test for the cancel() leak.
+  [[nodiscard]] std::size_t queue_footprint() const noexcept {
+    return heap_.size();
+  }
+
   /// Fires exactly one event. Returns false if the queue is empty.
   bool step() { return fire_next(); }
 
@@ -152,6 +171,7 @@ class Engine {
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx) noexcept;
+  void compact_heap();
   bool fire_next();
   bool fire_tied();
   void fire_item(const HeapItem& item);

@@ -1,0 +1,205 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <thread>
+
+#include "check/check.hpp"
+#include "util/assert.hpp"
+
+namespace pasched::sim {
+
+ShardedEngine::ShardedEngine(int nodes, Duration lookahead)
+    : lookahead_(lookahead) {
+  PASCHED_EXPECTS(nodes >= 1);
+  PASCHED_EXPECTS_MSG(lookahead > Duration::zero(),
+                      "conservative execution requires a positive lookahead");
+  // Single-node clusters keep everything (including the hub) on one shard:
+  // intra-node latency may be below the cross-node lookahead, and with one
+  // node there is nothing to run in parallel anyway.
+  const int shards = nodes > 1 ? nodes + 1 : 1;
+  hub_ = nodes > 1 ? nodes : 0;
+  engines_.reserve(static_cast<std::size_t>(shards));
+  inboxes_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    engines_.push_back(std::make_unique<Engine>());
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+  post_seq_.assign(static_cast<std::size_t>(shards), 0);
+  next_t_.assign(static_cast<std::size_t>(shards), Time::max());
+}
+
+ShardedEngine::~ShardedEngine() { drain(); }
+
+void ShardedEngine::post(int src_shard, int dst_shard, Time t,
+                         Engine::Callback fn) {
+  if (src_shard == dst_shard) {
+    engine_of(src_shard).schedule_at(t, std::move(fn));
+    return;
+  }
+  Engine& src = engine_of(src_shard);
+  PASCHED_CHECK_MSG(t >= src.now() + lookahead_,
+                    "cross-shard post violates the guaranteed lookahead");
+  CrossNodeEvent ev{t,
+                    src.now(),
+                    lookahead_,
+                    src_shard,
+                    post_seq_[static_cast<std::size_t>(src_shard)]++,
+                    std::move(fn)};
+  Inbox& in = *inboxes_[static_cast<std::size_t>(dst_shard)];
+  const std::scoped_lock lk(in.mu);
+  in.q.push_back(std::move(ev));
+}
+
+void ShardedEngine::request_wrapup(Engine::Callback fn) {
+  const std::scoped_lock lk(wrapup_mu_);
+  wrapups_.push_back(std::move(fn));
+}
+
+void ShardedEngine::drain_inbox(int shard) {
+  Inbox& in = *inboxes_[static_cast<std::size_t>(shard)];
+  std::vector<CrossNodeEvent> q;
+  {
+    const std::scoped_lock lk(in.mu);
+    q.swap(in.q);
+  }
+  if (q.empty()) return;
+  // Canonical admission order: posts from different sources are merged by
+  // (t, src, seq), so the destination engine's FIFO tie-break sees the same
+  // sequence regardless of which worker drained which source first.
+  std::sort(q.begin(), q.end(),
+            [](const CrossNodeEvent& a, const CrossNodeEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+              return a.src_seq < b.src_seq;
+            });
+  Engine& e = engine_of(shard);
+  for (CrossNodeEvent& ev : q) {
+    PASCHED_CHECK_MSG(ev.t >= ev.sent_at + ev.lookahead,
+                      "cross-shard event under-stamped its lookahead");
+    PASCHED_CHECK_MSG(ev.t >= e.now(),
+                      "cross-shard event arrived in the destination's past");
+    e.schedule_at(ev.t, std::move(ev.fn));
+  }
+}
+
+void ShardedEngine::plan_round(Time deadline) noexcept {
+  phase_ ^= 1;
+  if (phase_ == 0) return;  // end-of-window barrier: nothing to plan
+  // All workers are parked and every shard clock agrees, so wrapups may
+  // safely touch any node. They run before the stop checks so completions
+  // queued during the final window still execute.
+  for (;;) {
+    std::vector<Engine::Callback> fns;
+    {
+      const std::scoped_lock lk(wrapup_mu_);
+      fns.swap(wrapups_);
+    }
+    if (fns.empty()) break;
+    for (Engine::Callback& fn : fns) fn();
+  }
+  if (stop_flag_.load(std::memory_order_relaxed)) {
+    round_ = Round::Stop;
+    stopped_early_ = true;
+    return;
+  }
+  if (final_done_) {
+    round_ = Round::Stop;
+    return;
+  }
+  Time t0 = Time::max();
+  for (const Time t : next_t_) t0 = std::min(t0, t);
+  if (t0 >= deadline || t0 + lookahead_ > deadline) {
+    // Every event at t in [t0, deadline] posts cross-shard work no earlier
+    // than t0 + lookahead > deadline, so the last window may be inclusive.
+    round_ = Round::Final;
+    final_done_ = true;
+  } else {
+    round_ = Round::Window;
+    window_end_ = t0 + lookahead_;
+  }
+}
+
+bool ShardedEngine::run_until(Time deadline, int workers) {
+  const int S = partitions();
+  const int W = std::clamp(workers, 1, S);
+  stop_flag_.store(false, std::memory_order_relaxed);
+  stopped_early_ = false;
+  final_done_ = false;
+  phase_ = 0;
+  round_ = Round::Window;
+
+  std::exception_ptr err;
+  std::mutex err_mu;
+  {
+    auto completion = [this, deadline]() noexcept { plan_round(deadline); };
+    std::barrier bar(W, completion);
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(W));
+    for (int w = 0; w < W; ++w) {
+      pool.emplace_back([this, w, W, S, deadline, &bar, &err, &err_mu] {
+        try {
+          for (;;) {
+            for (int s = w; s < S; s += W) {
+              drain_inbox(s);
+              next_t_[static_cast<std::size_t>(s)] =
+                  engine_of(s).next_event_time();
+            }
+            bar.arrive_and_wait();  // completion plans the round
+            const Round r = round_;
+            if (r == Round::Stop) break;
+            for (int s = w; s < S; s += W) {
+              if (r == Round::Final) {
+                engine_of(s).run_until(deadline);
+              } else {
+                engine_of(s).run_before(window_end_);
+              }
+            }
+            bar.arrive_and_wait();  // all shards quiesced before next drain
+          }
+        } catch (...) {
+          {
+            const std::scoped_lock lk(err_mu);
+            if (!err) err = std::current_exception();
+          }
+          // Release the surviving workers; they observe stop_flag_ at the
+          // next plan and exit instead of deadlocking on this thread.
+          stop_flag_.store(true, std::memory_order_relaxed);
+          bar.arrive_and_drop();
+        }
+      });
+    }
+  }  // jthreads join here
+  if (err) std::rethrow_exception(err);
+  return !stopped_early_;
+}
+
+std::uint64_t ShardedEngine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->events_processed();
+  return total;
+}
+
+std::size_t ShardedEngine::events_pending() const {
+  std::size_t total = 0;
+  for (const auto& e : engines_) total += e->events_pending();
+  return total;
+}
+
+void ShardedEngine::drain() {
+  for (auto& in : inboxes_) {
+    const std::scoped_lock lk(in->mu);
+    in->q.clear();
+  }
+  for (auto& e : engines_) e->drain();
+#if PASCHED_VALIDATE_ENABLED
+  for (const auto& e : engines_) {
+    PASCHED_CHECK_MSG(e->events_pending() == 0,
+                      "shard still holds live events after drain()");
+    e->check_consistent();
+  }
+#endif
+}
+
+}  // namespace pasched::sim

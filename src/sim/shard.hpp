@@ -1,0 +1,117 @@
+// Per-node event shards with conservative-window parallel execution.
+//
+// Every cluster node owns one Engine (priority queue + clock); one extra
+// "hub" shard owns cluster-global hardware (the switch's combine unit).
+// Cross-shard events go through post(), which stamps send time and the
+// guaranteed lookahead and drops them into the destination shard's inbox.
+//
+// Execution advances in conservative windows (Chandy/Misra/Bryant style):
+// with every shard quiesced at time W and L = the minimum cross-node
+// latency, any event a shard fires at t < T'+L can only generate cross-
+// shard work at t+L >= T'+L — so all shards may execute [T', T'+L) in
+// parallel without ever receiving an event in their past. The window plan
+// runs in the barrier's completion step; worker count does not change which
+// events fire when, so --parallel=1 and --parallel=N are bit-identical.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace pasched::sim {
+
+/// A cross-shard event in flight: the delivery time plus the stamps the
+/// conservative executor validates (send time and the lookahead promised at
+/// post time — `t >= sent_at + lookahead` is the causality contract).
+struct CrossNodeEvent {
+  Time t;
+  Time sent_at;
+  Duration lookahead;
+  int src_shard = 0;
+  std::uint64_t src_seq = 0;
+  Engine::Callback fn;
+};
+
+class ShardedEngine final : public Router {
+ public:
+  /// One shard per node plus (for multi-node clusters) a hub shard.
+  /// `lookahead` must be positive: it is the guaranteed minimum latency of
+  /// any cross-shard interaction (net::guaranteed_lookahead derives it from
+  /// the fabric config).
+  ShardedEngine(int nodes, Duration lookahead);
+  ~ShardedEngine() override;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Router --------------------------------------------------------------------
+  [[nodiscard]] int partitions() const noexcept override {
+    return static_cast<int>(engines_.size());
+  }
+  [[nodiscard]] int shard_of_node(int node) const noexcept override {
+    return node;
+  }
+  [[nodiscard]] int hub_shard() const noexcept override { return hub_; }
+  [[nodiscard]] Duration lookahead() const noexcept override {
+    return lookahead_;
+  }
+  [[nodiscard]] Engine& engine_of(int shard) override {
+    return *engines_[static_cast<std::size_t>(shard)];
+  }
+  void post(int src_shard, int dst_shard, Time t,
+            Engine::Callback fn) override;
+  void request_wrapup(Engine::Callback fn) override;
+  void stop_all() override { stop_flag_.store(true, std::memory_order_relaxed); }
+
+  // Execution -----------------------------------------------------------------
+  /// Runs every shard to `deadline` with `workers` threads (clamped to
+  /// [1, partitions()]). Returns false if stopped early via stop_all().
+  bool run_until(Time deadline, int workers);
+
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] std::size_t events_pending() const;
+
+  /// Cancels all pending events and discards undelivered cross-shard posts.
+  /// Under PASCHED_VALIDATE, verifies every shard ends empty and
+  /// structurally consistent. Called by the destructor; callable earlier.
+  void drain();
+
+ private:
+  enum class Round : std::uint8_t { Window, Final, Stop };
+
+  struct Inbox {
+    std::mutex mu;
+    std::vector<CrossNodeEvent> q;
+  };
+
+  void worker_loop(int worker, int nworkers, Time deadline);
+  void drain_inbox(int shard);
+  void plan_round(Time deadline) noexcept;
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::uint64_t> post_seq_;  // per source shard; owner-written
+  std::vector<Time> next_t_;             // published before the plan barrier
+  Duration lookahead_;
+  int hub_ = 0;
+
+  // Window-plan state: written only in the barrier completion step (all
+  // workers parked), read by workers after the barrier — the barrier itself
+  // is the synchronization.
+  Round round_ = Round::Window;
+  Time window_end_{};
+  bool final_done_ = false;
+  int phase_ = 0;
+  bool stopped_early_ = false;
+
+  std::atomic<bool> stop_flag_{false};
+  std::mutex wrapup_mu_;
+  std::vector<Engine::Callback> wrapups_;
+};
+
+}  // namespace pasched::sim

@@ -26,14 +26,33 @@ std::string display_name(const Event& e) {
   return "node" + std::to_string(e.node) + "/tid" + std::to_string(e.tid);
 }
 
+const std::vector<Event>& EventLog::events() const {
+  if (dirty_.load(std::memory_order_acquire)) {
+    merged_.clear();
+    merged_.reserve(size());
+    // Bucket concatenation in node order, then a stable sort by time: the
+    // canonical (t, node, per-node seq) order. Each bucket is already
+    // time-sorted (engines fire in nondecreasing time), so same-timestamp
+    // events order by node id then per-node recording order — identically
+    // in sequential and partitioned runs.
+    for (const auto& b : buckets_)
+      merged_.insert(merged_.end(), b.begin(), b.end());
+    std::stable_sort(
+        merged_.begin(), merged_.end(),
+        [](const Event& a, const Event& b) { return a.t < b.t; });
+    dirty_.store(false, std::memory_order_release);
+  }
+  return merged_;
+}
+
 std::vector<Event> EventLog::slice(sim::Time t0, sim::Time t1) const {
-  // Events are recorded in nondecreasing time order, so the slice is a
-  // contiguous range.
+  // The merged stream is time-sorted, so the slice is a contiguous range.
+  const std::vector<Event>& evs = events();
   const auto lo = std::lower_bound(
-      events_.begin(), events_.end(), t0,
+      evs.begin(), evs.end(), t0,
       [](const Event& e, sim::Time t) { return e.t < t; });
   const auto hi = std::lower_bound(
-      lo, events_.end(), t1,
+      lo, evs.end(), t1,
       [](const Event& e, sim::Time t) { return e.t < t; });
   return {lo, hi};
 }

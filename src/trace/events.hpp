@@ -7,6 +7,7 @@
 // pathological traces without running a simulation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,32 +58,62 @@ struct Event {
 /// otherwise a synthesized "node<N>/tid<T>".
 [[nodiscard]] std::string display_name(const Event& e);
 
-/// Append-only, time-ordered event store. Recording can be gated so long
-/// runs only pay for the windows under investigation (the paper enabled the
-/// AIX trace facility only around the Allreduce loops).
+/// Append-only event store. Recording can be gated so long runs only pay for
+/// the windows under investigation (the paper enabled the AIX trace facility
+/// only around the Allreduce loops).
+///
+/// Storage is sharded per node so partitioned runs can record from every
+/// shard concurrently without locks: record() appends to the bucket of the
+/// event's node (call ensure_nodes() up front — bucket growth itself is
+/// single-threaded). events() merges the buckets into one canonical stream
+/// ordered by (t, node, per-node sequence); the merge order is a pure
+/// function of the per-node streams, so sequential and parallel runs of the
+/// same scenario produce byte-identical logs.
 class EventLog {
  public:
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   void enable() noexcept { enabled_ = true; }
   void disable() noexcept { enabled_ = false; }
 
-  void record(const Event& e) {
-    if (enabled_) events_.push_back(e);
+  /// Presizes the per-node buckets. Must be called before concurrent
+  /// recording from multiple shards (Tracer::attach and Job::set_event_log
+  /// do this automatically).
+  void ensure_nodes(int nodes) {
+    if (static_cast<std::size_t>(nodes) + 1 > buckets_.size())
+      buckets_.resize(static_cast<std::size_t>(nodes) + 1);
   }
 
-  [[nodiscard]] const std::vector<Event>& events() const noexcept {
-    return events_;
+  void record(const Event& e) {
+    if (!enabled_) return;
+    const std::size_t b =
+        e.node >= 0 ? static_cast<std::size_t>(e.node) + 1 : 0;
+    if (b >= buckets_.size()) buckets_.resize(b + 1);  // single-thread path
+    buckets_[b].push_back(e);
+    dirty_.store(true, std::memory_order_release);
   }
-  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
-  void clear() { events_.clear(); }
+
+  /// The merged canonical stream. Not safe to call while shards record.
+  [[nodiscard]] const std::vector<Event>& events() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : buckets_) n += b.size();
+    return n;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  void clear() {
+    buckets_.clear();
+    merged_.clear();
+    dirty_.store(false, std::memory_order_release);
+  }
 
   /// Events with t in [t0, t1), preserving order — analyzers that build
   /// per-event vector clocks should run on a bounded slice, not a full run.
   [[nodiscard]] std::vector<Event> slice(sim::Time t0, sim::Time t1) const;
 
  private:
-  std::vector<Event> events_;
+  std::vector<std::vector<Event>> buckets_;  // [node + 1]; 0 = nodeless
+  mutable std::vector<Event> merged_;
+  mutable std::atomic<bool> dirty_{false};
   bool enabled_ = true;
 };
 

@@ -19,6 +19,50 @@ void Tracer::attach(kern::Kernel& kernel) {
   open_[node].resize(static_cast<std::size_t>(kernel.ncpus()));
   if (kernels_.size() <= node) kernels_.resize(node + 1, nullptr);
   kernels_[node] = &kernel;
+  // Presize the per-node recording state so shards never grow the vectors
+  // concurrently during a partitioned run.
+  (void)per_node(kernel.node_id());
+  if (elog_ != nullptr) elog_->ensure_nodes(static_cast<int>(node) + 1);
+}
+
+Tracer::PerNode& Tracer::per_node(kern::NodeId node) {
+  const auto n = static_cast<std::size_t>(node < 0 ? 0 : node);
+  if (per_node_.size() <= n) per_node_.resize(n + 1);
+  if (!per_node_[n]) per_node_[n] = std::make_unique<PerNode>();
+  return *per_node_[n];
+}
+
+void Tracer::push_interval(const Interval& iv) {
+  per_node(iv.node).intervals.push_back(iv);
+  dirty_.store(true, std::memory_order_release);
+}
+
+const std::vector<Interval>& Tracer::intervals() const {
+  if (dirty_.load(std::memory_order_acquire)) {
+    merged_.clear();
+    std::size_t total = 0;
+    for (const auto& pn : per_node_)
+      if (pn) total += pn->intervals.size();
+    merged_.reserve(total);
+    for (const auto& pn : per_node_)
+      if (pn)
+        merged_.insert(merged_.end(), pn->intervals.begin(),
+                       pn->intervals.end());
+    dirty_.store(false, std::memory_order_release);
+  }
+  return merged_;
+}
+
+TraceCounts Tracer::counts() const {
+  TraceCounts total;
+  for (const auto& pn : per_node_) {
+    if (!pn) continue;
+    total.dispatches += pn->counts.dispatches;
+    total.preemptions += pn->counts.preemptions;
+    total.ticks += pn->counts.ticks;
+    total.ipis += pn->counts.ipis;
+  }
+  return total;
 }
 
 int Tracer::ready_depth(kern::NodeId node) const {
@@ -56,7 +100,7 @@ Tracer::Open& Tracer::slot(kern::NodeId node, kern::CpuId cpu) {
 
 void Tracer::close_slot(Open& o, Time t, kern::NodeId node, kern::CpuId cpu) {
   if (o.thread != nullptr && enabled_ && t > o.since) {
-    intervals_.push_back(Interval{o.since, t, node, cpu, o.thread});
+    push_interval(Interval{o.since, t, node, cpu, o.thread});
   }
   o.thread = nullptr;
 }
@@ -74,8 +118,8 @@ void Tracer::disable(Time now) {
     for (std::size_t c = 0; c < open_[n].size(); ++c) {
       Open& o = open_[n][c];
       if (o.thread != nullptr && enabled_ && now > o.since) {
-        intervals_.push_back(Interval{o.since, now, static_cast<int>(n),
-                                      static_cast<int>(c), o.thread});
+        push_interval(Interval{o.since, now, static_cast<int>(n),
+                               static_cast<int>(c), o.thread});
         o.since = now;  // remains the occupant; interval restarts if re-enabled
       }
     }
@@ -83,11 +127,16 @@ void Tracer::disable(Time now) {
   enabled_ = false;
 }
 
-void Tracer::clear() { intervals_.clear(); }
+void Tracer::clear() {
+  for (auto& pn : per_node_)
+    if (pn) pn->intervals.clear();
+  merged_.clear();
+  dirty_.store(false, std::memory_order_release);
+}
 
 void Tracer::on_dispatch(Time t, kern::NodeId node, kern::CpuId cpu,
                          const kern::Thread& th) {
-  ++counts_.dispatches;
+  ++per_node(node).counts.dispatches;
   if (node_filter_ >= 0 && node != node_filter_) return;
   log_event(EventKind::Dispatch, t, node, cpu, &th);
   Open& o = slot(node, cpu);
@@ -98,7 +147,7 @@ void Tracer::on_dispatch(Time t, kern::NodeId node, kern::CpuId cpu,
 
 void Tracer::on_preempt(Time t, kern::NodeId node, kern::CpuId cpu,
                         const kern::Thread& th) {
-  ++counts_.preemptions;
+  ++per_node(node).counts.preemptions;
   if (node_filter_ >= 0 && node != node_filter_) return;
   log_event(EventKind::Preempt, t, node, cpu, &th);
 }
@@ -121,12 +170,12 @@ void Tracer::on_state(Time t, kern::NodeId node, const kern::Thread& th,
   }
 }
 
-void Tracer::on_tick(Time /*t*/, kern::NodeId /*node*/, kern::CpuId /*cpu*/) {
-  ++counts_.ticks;
+void Tracer::on_tick(Time /*t*/, kern::NodeId node, kern::CpuId /*cpu*/) {
+  ++per_node(node).counts.ticks;
 }
 
-void Tracer::on_ipi(Time /*t*/, kern::NodeId /*node*/, kern::CpuId /*cpu*/) {
-  ++counts_.ipis;
+void Tracer::on_ipi(Time /*t*/, kern::NodeId node, kern::CpuId /*cpu*/) {
+  ++per_node(node).counts.ipis;
 }
 
 void Tracer::on_idle(Time t, kern::NodeId node, kern::CpuId cpu) {

@@ -5,7 +5,9 @@
 // exactly like the paper enabling tracing only around the Allreduce loops.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,7 +44,11 @@ class Tracer final : public kern::SchedObserver {
   /// Additionally mirrors scheduling events (with priority and ready-queue
   /// depth) into `log` for the offline analyzers. The log's own enable gate
   /// applies on top of this tracer's interval gate.
-  void set_event_log(EventLog* log) noexcept { elog_ = log; }
+  void set_event_log(EventLog* log) {
+    elog_ = log;
+    if (elog_ != nullptr && !kernels_.empty())
+      elog_->ensure_nodes(static_cast<int>(kernels_.size()));
+  }
   [[nodiscard]] EventLog* event_log() const noexcept { return elog_; }
 
   /// Starts/stops interval recording (counts are always maintained).
@@ -50,10 +56,13 @@ class Tracer final : public kern::SchedObserver {
   void disable(sim::Time now);
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
-  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
-    return intervals_;
-  }
-  [[nodiscard]] const TraceCounts& counts() const noexcept { return counts_; }
+  /// Closed intervals, merged from the per-node buffers in node order (each
+  /// node's buffer keeps its own recording order). The merge is a pure
+  /// function of the per-node streams, so sequential and partitioned runs
+  /// agree byte-for-byte. Not safe to call while shards record.
+  [[nodiscard]] const std::vector<Interval>& intervals() const;
+  /// Counts summed over all nodes.
+  [[nodiscard]] TraceCounts counts() const;
   void clear();
 
   // kern::SchedObserver ------------------------------------------------------
@@ -78,12 +87,23 @@ class Tracer final : public kern::SchedObserver {
                  kern::CpuId cpu, const kern::Thread* th);
   [[nodiscard]] int ready_depth(kern::NodeId node) const;
 
+  // Everything a scheduling callback mutates is per-node, so kernels on
+  // different shards record concurrently without locks. attach() presizes
+  // the per-node state; the merged interval view is rebuilt lazily.
+  struct PerNode {
+    std::vector<Interval> intervals;
+    TraceCounts counts;
+  };
+  PerNode& per_node(kern::NodeId node);
+  void push_interval(const Interval& iv);
+
   kern::NodeId node_filter_;
   bool enabled_ = false;
   std::vector<std::vector<Open>> open_;  // [node][cpu]
   std::vector<const kern::Kernel*> kernels_;  // [node], for queue depth
-  std::vector<Interval> intervals_;
-  TraceCounts counts_;
+  std::vector<std::unique_ptr<PerNode>> per_node_;  // [node]
+  mutable std::vector<Interval> merged_;
+  mutable std::atomic<bool> dirty_{false};
   EventLog* elog_ = nullptr;
 };
 

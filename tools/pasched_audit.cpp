@@ -11,6 +11,14 @@
 //   ./pasched-audit [--nodes=4] [--tasks-per-node=16] [--calls=120]
 //       [--seed=1] [--verbose]
 //
+// With --parallel-equivalence it instead proves the partitioned execution
+// mode faithful: each scenario runs under the classic single-queue engine,
+// --parallel=1 and --parallel=<workers>, and the three canonical history
+// digests (scheduling intervals + analyzer events + per-rank finish times,
+// truncated at job completion) must be identical.
+//
+//   ./pasched-audit --parallel-equivalence [--workers=8] [--nodes=4] ...
+//
 // Exit status: 0 = reproducible and consistent, 1 = divergence, 2 = a model
 // invariant is violated, 64 = bad usage.
 #include <cstdint>
@@ -23,6 +31,7 @@
 #include "apps/channels.hpp"
 #include "check/audit.hpp"
 #include "check/check.hpp"
+#include "core/equivalence.hpp"
 #include "core/presets.hpp"
 #include "core/simulation.hpp"
 #include "trace/trace.hpp"
@@ -162,6 +171,66 @@ RunDigest run_scenario(const AuditParams& p, bool prototype) {
   return d;
 }
 
+/// The three-way execution-mode equivalence gate: classic vs --parallel=1
+/// vs --parallel=<workers>, on the fig3 (vanilla) and fig5 (prototype +
+/// co-scheduler) scenario shapes.
+int run_parallel_equivalence(const AuditParams& p, int workers) {
+  int rc = 0;
+  for (const bool prototype : {false, true}) {
+    const char* name = prototype ? "fig5-prototype+cosched" : "fig3-vanilla";
+    core::SimulationConfig cfg;
+    cfg.cluster = cluster::presets::frost(p.nodes);
+    cfg.cluster.seed = p.seed;
+    cfg.cluster.node.tunables =
+        prototype ? core::prototype_kernel() : core::vanilla_kernel();
+    cfg.job.ntasks = p.nodes * p.tasks_per_node;
+    cfg.job.tasks_per_node = p.tasks_per_node;
+    cfg.job.seed = p.seed;
+    cfg.use_coscheduler = prototype;
+    cfg.cosched = core::paper_cosched();
+
+    apps::AggregateTraceConfig at;
+    at.loops = 1;
+    at.calls_per_loop = p.calls;
+    at.warmup = sim::Duration::sec(6);
+    const mpi::WorkloadFactory factory = apps::aggregate_trace(at);
+
+    std::cout << "scenario " << name << ": legacy..." << std::flush;
+    cfg.parallel = 0;
+    const core::CanonicalDigest legacy = core::run_canonical(cfg, factory);
+    std::cout << " parallel=1..." << std::flush;
+    cfg.parallel = 1;
+    const core::CanonicalDigest par1 = core::run_canonical(cfg, factory);
+    std::cout << " parallel=" << workers << "..." << std::flush;
+    cfg.parallel = workers;
+    const core::CanonicalDigest parn = core::run_canonical(cfg, factory);
+
+    std::cout << "\n  legacy     hash=" << std::hex << legacy.hash << std::dec
+              << " completed=" << legacy.completed
+              << " events=" << legacy.events << "\n  parallel=1 hash="
+              << std::hex << par1.hash << std::dec
+              << " completed=" << par1.completed << " events=" << par1.events
+              << "\n  parallel=" << workers << " hash=" << std::hex
+              << parn.hash << std::dec << " completed=" << parn.completed
+              << " events=" << parn.events << "\n";
+    if (!legacy.completed || !par1.completed || !parn.completed) {
+      std::cout << "  FAIL: a mode did not run the job to completion\n";
+      rc = 1;
+      continue;
+    }
+    if (legacy.hash != par1.hash || par1.hash != parn.hash ||
+        legacy.elapsed.count() != par1.elapsed.count() ||
+        par1.elapsed.count() != parn.elapsed.count()) {
+      std::cout << "  FAIL: execution modes diverged\n";
+      rc = 1;
+      continue;
+    }
+    std::cout << "  OK: all three execution modes are bit-identical\n";
+  }
+  if (rc == 0) std::cout << "pasched-audit: PASS (parallel equivalence)\n";
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,12 +238,14 @@ int main(int argc, char** argv) {
   // An audit gate must not silently ignore a typo'd flag — a misspelled
   // --seed would "pass" the wrong scenario.
   const std::vector<std::string> typos =
-      flags.unknown({"nodes", "tasks-per-node", "calls", "seed", "verbose"});
+      flags.unknown({"nodes", "tasks-per-node", "calls", "seed", "verbose",
+                     "parallel-equivalence", "workers"});
   if (!typos.empty()) {
     std::cerr << "pasched-audit: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
     std::cerr << "\nusage: pasched-audit [--nodes=N] [--tasks-per-node=N]"
-                 " [--calls=N] [--seed=N] [--verbose]\n";
+                 " [--calls=N] [--seed=N] [--verbose]"
+                 " [--parallel-equivalence [--workers=N]]\n";
     return 64;
   }
   AuditParams p;
@@ -188,6 +259,15 @@ int main(int argc, char** argv) {
     std::cerr << "pasched-audit: --nodes, --tasks-per-node and --calls must"
                  " be positive\n";
     return 64;
+  }
+
+  if (flags.get_bool("parallel-equivalence", false)) {
+    const int workers = static_cast<int>(flags.get_int("workers", 8));
+    if (workers < 1) {
+      std::cerr << "pasched-audit: --workers must be positive\n";
+      return 64;
+    }
+    return run_parallel_equivalence(p, workers);
   }
 
   int rc = 0;
