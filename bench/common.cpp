@@ -1,12 +1,15 @@
 #include "common.hpp"
 
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 
 #include "analysis/lint.hpp"
 #include "apps/aggregate_trace.hpp"
 #include "apps/channels.hpp"
 #include "mpi/collectives.hpp"
+#include "race/monitor.hpp"
+#include "sim/shard.hpp"
 #include "util/stats.hpp"
 
 namespace bench {
@@ -52,10 +55,21 @@ RunResult run_aggregate(const RunSpec& spec) {
   at.warmup = spec.warmup;
 
   core::Simulation sim(cfg, apps::aggregate_trace(at));
+  std::unique_ptr<race::Monitor> monitor;
+  if (spec.audit) {
+    sim::ShardedEngine* sh = sim.sharded();
+    if (sh == nullptr)
+      throw std::logic_error("RunSpec::audit requires parallel >= 1");
+    monitor = std::make_unique<race::Monitor>(sh->partitions());
+    sh->set_monitor(monitor.get());
+    race::install_sink(monitor.get());
+  }
   const auto sres = sim.run();
+  if (monitor) race::install_sink(nullptr);
 
   const auto& ch = sim.job().channel(apps::kChanAllreduce);
   RunResult r;
+  if (monitor) r.audit_violations = monitor->stats().violations;
   r.completed = sres.completed;
   r.procs = cfg.job.ntasks;
   r.elapsed_s = sres.elapsed.to_seconds();

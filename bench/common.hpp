@@ -43,6 +43,10 @@ struct RunSpec {
   /// 0 = classic single event queue; N >= 1 = partitioned execution with N
   /// worker threads (see SimulationConfig::parallel).
   int parallel = 0;
+  /// Arms the pasched-race seam monitor + ownership sink on a partitioned
+  /// run (requires parallel >= 1). micro_shard uses it to price the
+  /// full-audit mode against the bare annotation layer.
+  bool audit = false;
 };
 
 struct RunResult {
@@ -61,6 +65,8 @@ struct RunResult {
   double ideal_us = 0;     // analytic no-interference model
   double elapsed_s = 0;    // job wall time
   std::uint64_t events = 0;
+  /// Ownership/race findings collected when RunSpec::audit was set.
+  std::uint64_t audit_violations = 0;
   /// Per-call durations (us) observed by the recorded rank.
   std::vector<double> recorded;
 };

@@ -31,11 +31,14 @@ struct ModeResult {
   std::uint64_t events = 0;
   bool completed = false;
   double mean_us = 0;  // per-Allreduce mean: must agree across modes
+  bool audited = false;
+  std::uint64_t audit_violations = 0;
 };
 
 ModeResult run_mode(bench::RunSpec spec, const std::string& name,
-                    int parallel) {
+                    int parallel, bool audit = false) {
   spec.parallel = parallel;
+  spec.audit = audit;
   const auto t0 = std::chrono::steady_clock::now();
   const bench::RunResult r = bench::run_aggregate(spec);
   const auto t1 = std::chrono::steady_clock::now();
@@ -49,6 +52,8 @@ ModeResult run_mode(bench::RunSpec spec, const std::string& name,
   m.events = r.events;
   m.completed = r.completed;
   m.mean_us = r.mean_us;
+  m.audited = audit;
+  m.audit_violations = r.audit_violations;
   return m;
 }
 
@@ -77,20 +82,42 @@ int main(int argc, char** argv) {
   modes.push_back(run_mode(spec, "legacy", 0));
   for (const int n : {1, 2, 4, 8})
     modes.push_back(run_mode(spec, "parallel" + std::to_string(n), n));
+  // Full pasched-race audit (seam monitor + ownership sink) on 4 workers:
+  // the delta against the bare parallel4 row prices the *dynamic* checker;
+  // the annotation layer's own cost is the cross-build delta of this whole
+  // file under -DPASCHED_VALIDATE=ON vs OFF (see "validate_enabled" below).
+  modes.push_back(run_mode(spec, "parallel4+audit", 4, /*audit=*/true));
 
-  std::cout << "mode         wall_ms   events     ev/ms    mean_us\n";
+  const double legacy_ms = modes.front().wall_ms;
+  const auto speedup = [legacy_ms](const ModeResult& m) {
+    return m.wall_ms > 0 ? legacy_ms / m.wall_ms : 0.0;
+  };
+
+  std::cout
+      << "mode             wall_ms   events     ev/ms    mean_us   speedup\n";
   for (const ModeResult& m : modes) {
-    std::cout << m.name << std::string(m.name.size() < 12 ? 12 - m.name.size() : 1, ' ')
+    std::cout << m.name << std::string(m.name.size() < 16 ? 16 - m.name.size() : 1, ' ')
               << m.wall_ms << "  " << m.events << "  "
               << (m.wall_ms > 0 ? static_cast<double>(m.events) / m.wall_ms : 0)
-              << "  " << m.mean_us << (m.completed ? "" : "  [INCOMPLETE]")
-              << "\n";
+              << "  " << m.mean_us << "  " << speedup(m) << "x"
+              << (m.completed ? "" : "  [INCOMPLETE]") << "\n";
   }
-  const double speedup8 =
-      modes.back().wall_ms > 0 ? modes.front().wall_ms / modes.back().wall_ms
-                               : 0.0;
-  std::cout << "\nspeedup parallel8 vs legacy: " << speedup8 << "x (on "
-            << hw << " hardware threads)\n";
+  const ModeResult& par4 = modes[3];  // legacy, p1, p2, p4, p8, p4+audit
+  const ModeResult& par8 = modes[4];
+  const ModeResult& audited = modes.back();
+  const double speedup8 = speedup(par8);
+  const double audit_overhead =
+      par4.wall_ms > 0 ? audited.wall_ms / par4.wall_ms : 0.0;
+  std::cout << "\nspeedup parallel8 vs legacy: " << speedup8 << "x (on " << hw
+            << " hardware threads)\n"
+            << "race-audit overhead vs parallel4: " << audit_overhead
+            << "x wall (" << audited.audit_violations << " violations)\n"
+            << "validate (ownership annotations compiled in): "
+#if PASCHED_VALIDATE_ENABLED
+            << "on\n";
+#else
+            << "off\n";
+#endif
 
   std::ofstream js("BENCH_shard.json");
   js << "{\n  \"bench\": \"micro_shard\",\n"
@@ -98,15 +125,24 @@ int main(int argc, char** argv) {
      << "  \"tasks\": " << spec.nodes * spec.tasks_per_node << ",\n"
      << "  \"calls\": " << spec.calls << ",\n"
      << "  \"hardware_concurrency\": " << hw << ",\n"
+#if PASCHED_VALIDATE_ENABLED
+     << "  \"validate_enabled\": true,\n"
+#else
+     << "  \"validate_enabled\": false,\n"
+#endif
      << "  \"modes\": [\n";
   for (std::size_t i = 0; i < modes.size(); ++i) {
     const ModeResult& m = modes[i];
     js << "    {\"mode\": \"" << m.name << "\", \"parallel\": " << m.parallel
        << ", \"wall_ms\": " << m.wall_ms << ", \"events\": " << m.events
+       << ", \"speedup_vs_legacy\": " << speedup(m)
+       << ", \"audited\": " << (m.audited ? "true" : "false")
+       << ", \"audit_violations\": " << m.audit_violations
        << ", \"completed\": " << (m.completed ? "true" : "false") << "}"
        << (i + 1 < modes.size() ? "," : "") << "\n";
   }
-  js << "  ],\n  \"speedup_parallel8_vs_legacy\": " << speedup8 << "\n}\n";
+  js << "  ],\n  \"speedup_parallel8_vs_legacy\": " << speedup8
+     << ",\n  \"audit_overhead_vs_parallel4\": " << audit_overhead << "\n}\n";
   std::cout << "wrote BENCH_shard.json\n";
 
   // Cross-mode sanity: the simulated physics must not depend on the mode.
@@ -118,6 +154,11 @@ int main(int argc, char** argv) {
     if (m.mean_us != modes[1].mean_us) {
       std::cerr << "micro_shard: mode " << m.name
                 << " disagrees with parallel1 on mean Allreduce time\n";
+      return 1;
+    }
+    if (m.audit_violations != 0) {
+      std::cerr << "micro_shard: audited mode " << m.name << " reported "
+                << m.audit_violations << " ownership violations\n";
       return 1;
     }
   }

@@ -85,6 +85,28 @@ const std::vector<RuleInfo>& all_rules() {
        "the instantaneous wait-for graph over open receive-waits must stay "
        "acyclic",
        "§2 (cascading spin-wait cycles idle the whole job)"},
+      // Partitioned-core rules (PSL2xx): emitted by the pasched-race
+      // shard-ownership and determinism auditor (src/race/), not by the
+      // config linter or the trace analyzer.
+      {"PSL201", Severity::Error,
+       "shard-owned state (kernels, tasks, daemons, per-node trace buffers) "
+       "must be mutated only by the worker executing the owning shard",
+       "§3.2 (per-node kernel state is private to its node's scheduler)"},
+      {"PSL202", Severity::Error,
+       "every cross-shard access pair must be ordered by the shard "
+       "happens-before relation (router posts, inbox drains, window "
+       "barriers) — unordered pairs are data races in the parallel core",
+       "§3.2.1 (cross-node effects travel only through the switch fabric)"},
+      {"PSL203", Severity::Error,
+       "a cross-shard delivery must not land in the destination shard's "
+       "past: delivery time >= send time + guaranteed lookahead >= the "
+       "destination clock at admission",
+       "§3.2.1 (conservative windows rest on the minimum fabric latency)"},
+      {"PSL204", Severity::Error,
+       "the canonical run digest must be invariant under window-quantum and "
+       "barrier-phase perturbation — divergence means an ordering accident, "
+       "not a scheduling decision, shaped the observable history",
+       "§5 (Fig. 3/5 claims depend on bit-identical parallel execution)"},
   };
   return kRules;
 }

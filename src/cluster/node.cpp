@@ -8,6 +8,7 @@ Node::Node(sim::EventContext ctx, kern::NodeId id, const NodeConfig& cfg,
            sim::Rng rng)
     : id_(id) {
   PASCHED_EXPECTS(cfg.ncpus > 0);
+  owned_.bind(ctx.shard, "cluster.Node", id);
   const sim::Duration offset =
       rng.uniform_dur(sim::Duration::zero(), cfg.max_clock_offset);
   kernel_ = std::make_unique<kern::Kernel>(ctx, id, cfg.ncpus,
@@ -20,6 +21,7 @@ Node::Node(sim::EventContext ctx, kern::NodeId id, const NodeConfig& cfg,
 }
 
 void Node::start() {
+  PASCHED_ASSERT_OWNED(owned_, "start");
   kernel_->start();
   if (daemons_) daemons_->start();
 }

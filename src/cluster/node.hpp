@@ -6,6 +6,7 @@
 
 #include "daemons/registry.hpp"
 #include "kern/kernel.hpp"
+#include "race/domain.hpp"
 #include "sim/context.hpp"
 #include "sim/random.hpp"
 
@@ -48,6 +49,7 @@ class Node {
 
  private:
   kern::NodeId id_;
+  race::Owned owned_;
   std::unique_ptr<kern::Kernel> kernel_;
   std::unique_ptr<daemons::NodeDaemons> daemons_;
 };

@@ -37,6 +37,12 @@ class Hasher {
 
 CanonicalDigest run_canonical(const SimulationConfig& cfg,
                               const mpi::WorkloadFactory& factory) {
+  return run_canonical(cfg, factory, {});
+}
+
+CanonicalDigest run_canonical(const SimulationConfig& cfg,
+                              const mpi::WorkloadFactory& factory,
+                              const std::function<void(Simulation&)>& prepare) {
   Simulation sim(cfg, factory);
   trace::Tracer tracer(-1);
   trace::EventLog elog;
@@ -45,6 +51,7 @@ CanonicalDigest run_canonical(const SimulationConfig& cfg,
   tracer.set_event_log(&elog);
   sim.job().set_event_log(&elog);
   tracer.enable(sim.engine().now());
+  if (prepare) prepare(sim);
 
   const SimulationResult res = sim.run();
 

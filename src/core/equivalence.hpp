@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/simulation.hpp"
 
@@ -33,5 +34,13 @@ struct CanonicalDigest {
 /// equivalence claim.
 [[nodiscard]] CanonicalDigest run_canonical(const SimulationConfig& cfg,
                                             const mpi::WorkloadFactory& factory);
+
+/// Instrumented overload: `prepare` runs after the tracer is attached but
+/// before the run, with the fully built Simulation — pasched-race uses it to
+/// install its seam monitor, window-perturbation source, and planted faults.
+/// An empty function behaves exactly like the plain overload.
+[[nodiscard]] CanonicalDigest run_canonical(
+    const SimulationConfig& cfg, const mpi::WorkloadFactory& factory,
+    const std::function<void(Simulation&)>& prepare);
 
 }  // namespace pasched::core

@@ -63,6 +63,11 @@ class Simulation {
 
   /// Shard 0's engine (the only engine in classic mode).
   [[nodiscard]] sim::Engine& engine() noexcept { return cluster_->engine(); }
+  /// The partitioned executor (nullptr in classic mode) — the attachment
+  /// point for pasched-race's seam monitor and window-perturbation source.
+  [[nodiscard]] sim::ShardedEngine* sharded() noexcept {
+    return sharded_.get();
+  }
   [[nodiscard]] cluster::Cluster& cluster() noexcept { return *cluster_; }
   [[nodiscard]] mpi::Job& job() noexcept { return *job_; }
   /// nullptr when the co-scheduler is not engaged.

@@ -11,6 +11,7 @@ using sim::Time;
 
 IoService::IoService(kern::Kernel& kernel, IoServiceConfig cfg)
     : kernel_(kernel), cfg_(cfg) {
+  owned_.bind(kernel.context().shard, "daemons.IoService", kernel.node_id());
   kern::ThreadSpec ts;
   ts.name = "mmfsd";
   ts.cls = kern::ThreadClass::Daemon;
@@ -22,6 +23,9 @@ IoService::IoService(kern::Kernel& kernel, IoServiceConfig cfg)
 }
 
 void IoService::submit(std::size_t bytes, sim::Engine::Callback on_complete) {
+  // Remote GPFS shards must ship their requests over the fabric, never
+  // enqueue into a peer daemon's queue from their own shard.
+  PASCHED_ASSERT_OWNED(owned_, "submit");
   queue_.push_back(Request{bytes, kernel_.engine().now(), std::move(on_complete)});
   ++stats_.requests;
   stats_.bytes += bytes;

@@ -10,6 +10,7 @@
 #include <deque>
 
 #include "kern/kernel.hpp"
+#include "race/domain.hpp"
 #include "sim/engine.hpp"
 
 namespace pasched::daemons {
@@ -58,6 +59,7 @@ class IoService final : private kern::ThreadClient {
 
   kern::Kernel& kernel_;
   IoServiceConfig cfg_;
+  race::Owned owned_;  // the request queue belongs to the home node's shard
   kern::Thread* thread_ = nullptr;
   std::deque<Request> queue_;
   bool servicing_ = false;  // a request's burst has been issued

@@ -54,6 +54,8 @@ std::vector<DaemonSpec> standard_daemon_specs() {
 NodeDaemons::NodeDaemons(kern::Kernel& kernel, const RegistryConfig& cfg,
                          sim::Rng rng) {
   PASCHED_EXPECTS(cfg.intensity > 0.0);
+  owned_.bind(kernel.context().shard, "daemons.NodeDaemons",
+              kernel.node_id());
   auto specs = standard_daemon_specs();
   kern::CpuId cpu = 0;
   std::uint64_t stream = 0;
@@ -83,6 +85,7 @@ NodeDaemons::NodeDaemons(kern::Kernel& kernel, const RegistryConfig& cfg,
 }
 
 void NodeDaemons::start() {
+  PASCHED_ASSERT_OWNED(owned_, "start");
   for (auto& d : daemons_) d->start();
 }
 

@@ -14,6 +14,7 @@
 
 #include "daemons/daemon.hpp"
 #include "daemons/io_service.hpp"
+#include "race/domain.hpp"
 
 namespace pasched::daemons {
 
@@ -59,6 +60,7 @@ class NodeDaemons {
   [[nodiscard]] bool any_evicted() const;
 
  private:
+  race::Owned owned_;
   std::vector<std::unique_ptr<Daemon>> daemons_;
   std::unique_ptr<IoService> io_;
   Daemon* heartbeat_ = nullptr;

@@ -29,6 +29,7 @@ Kernel::Kernel(sim::EventContext ctx, NodeId node, int ncpus, Tunables tunables,
                Duration clock_offset, std::uint64_t tick_phase_seed)
     : ctx_(ctx), node_(node), tun_(tunables), clock_(clock_offset) {
   PASCHED_EXPECTS(ncpus > 0);
+  owned_.bind(ctx_.shard, "kern.Kernel", node);
   PASCHED_EXPECTS(tun_.big_tick >= 1);
   cpus_.resize(static_cast<std::size_t>(ncpus));
   acct_start_ = ctx_.now();
@@ -42,6 +43,7 @@ Kernel::Kernel(sim::EventContext ctx, NodeId node, int ncpus, Tunables tunables,
 Kernel::~Kernel() = default;
 
 void Kernel::start() {
+  PASCHED_ASSERT_OWNED(owned_, "start");
   PASCHED_EXPECTS_MSG(!started_, "Kernel::start called twice");
   started_ = true;
   // Tick-stagger choice point: under a model checker the node's boot-time
@@ -283,6 +285,7 @@ void Kernel::block_current(CpuId cpu, ThreadState new_state) {
 // ---------------------------------------------------------------------------
 
 void Kernel::wake(Thread& t, CpuId waker_cpu) {
+  PASCHED_ASSERT_OWNED(owned_, "wake");
   PASCHED_EXPECTS_MSG(t.state_ == ThreadState::Blocked,
                       "wake() requires a blocked thread: " + t.name());
   enqueue(t);
@@ -290,6 +293,7 @@ void Kernel::wake(Thread& t, CpuId waker_cpu) {
 }
 
 void Kernel::kick(Thread& t) {
+  PASCHED_ASSERT_OWNED(owned_, "kick");
   if (!t.spin_waiting_) return;  // nothing waiting (message already consumed)
   t.spin_waiting_ = false;
   if (t.state_ == ThreadState::Running) {
@@ -302,6 +306,7 @@ void Kernel::kick(Thread& t) {
 
 void Kernel::set_priority(Thread& t, Priority prio, bool fixed,
                           CpuId actor_cpu) {
+  PASCHED_ASSERT_OWNED(owned_, "set_priority");
   PASCHED_EXPECTS(prio >= kBestPriority && prio <= kWorstPriority);
   t.base_prio_ = prio;
   t.fixed_prio_ = fixed;
@@ -497,6 +502,7 @@ void Kernel::on_tick(CpuId cpu) {
 
 void Kernel::schedule_callout(CpuId cpu, Time due_local,
                               sim::Engine::Callback fn) {
+  PASCHED_ASSERT_OWNED(owned_, "schedule_callout");
   PASCHED_EXPECTS(cpu >= 0 && cpu < ncpus());
   cpus_[static_cast<std::size_t>(cpu)].callouts.push_back(
       Cpu::Callout{due_local, callout_seq_++, std::move(fn)});

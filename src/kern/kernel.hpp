@@ -14,6 +14,7 @@
 #include "kern/thread.hpp"
 #include "kern/tunables.hpp"
 #include "kern/types.hpp"
+#include "race/domain.hpp"
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 
@@ -122,6 +123,9 @@ class Kernel {
 
   void set_observer(SchedObserver* obs) noexcept { observer_ = obs; }
 
+  /// The shard-ownership tag (bound to this node's shard at construction).
+  [[nodiscard]] const race::Owned& owned() const noexcept { return owned_; }
+
  private:
   friend class ::pasched::check::Auditor;
 
@@ -173,6 +177,7 @@ class Kernel {
 
   sim::EventContext ctx_;
   NodeId node_;
+  race::Owned owned_;  // always present so layout is validation-agnostic
   Tunables tun_;
   LocalClock clock_;
   sim::Duration unaligned_phase_;  // random tick origin when not aligned

@@ -24,6 +24,7 @@ Job::Job(cluster::Cluster& cluster, JobConfig cfg,
       cfg_.tasks_per_node <=
           cluster_.node(cfg_.first_node).kernel().ncpus(),
       "tasks_per_node exceeds CPUs per node");
+  hub_owned_.bind(cluster_.router().hub_shard(), "mpi.Job.hw", 0);
   sim::Rng job_rng(cfg_.seed);
   spans_.resize(static_cast<std::size_t>(cfg_.ntasks));
   for (int rank = 0; rank < cfg_.ntasks; ++rank) {
@@ -141,6 +142,7 @@ void Job::hw_contribute(Task& t, std::uint64_t seq, std::size_t bytes) {
 }
 
 void Job::hw_arrive(std::uint64_t seq, std::size_t bytes) {
+  PASCHED_ASSERT_OWNED(hub_owned_, "hw_arrive");
   // Hub shard: the unit fires when the last task's contribution arrives and
   // broadcasts the result to every task via its adapter (one more wire hop
   // plus the combine latency) — the same end-to-end time as the classic
@@ -163,6 +165,7 @@ void Job::hw_arrive(std::uint64_t seq, std::size_t bytes) {
 
 void Job::on_span(Task& t, std::uint32_t channel, std::uint64_t /*seq*/,
                   Time begin, Time end) {
+  PASCHED_ASSERT_OWNED(t.owned_, "on_span");
   PASCHED_EXPECTS(channel < kMaxChannels);
   // Recorded per rank (shards never contend); folded into ChannelStats
   // lazily in canonical (rank, span-sequence) order.

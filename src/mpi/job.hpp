@@ -15,6 +15,7 @@
 #include "mpi/hook.hpp"
 #include "mpi/task.hpp"
 #include "mpi/workload.hpp"
+#include "race/domain.hpp"
 #include "trace/events.hpp"
 #include "util/stats.hpp"
 
@@ -137,6 +138,7 @@ class Job {
   mutable std::array<ChannelStats, kMaxChannels> channels_;
   mutable std::atomic<bool> channels_dirty_{false};
   std::unordered_map<std::uint64_t, int> hw_pending_;  // hub shard only
+  race::Owned hub_owned_;  // guards hw_pending_ (the combine-unit state)
   std::atomic<int> finished_{0};
   sim::Time launch_time_{};
   sim::Time completion_time_{};

@@ -17,6 +17,7 @@ Task::Task(Job& job, int rank, int size, cluster::Node& node, kern::CpuId cpu,
       workload_(std::move(workload)),
       rng_(rng) {
   PASCHED_EXPECTS(workload_ != nullptr);
+  owned_.bind(node.kernel().context().shard, "mpi.Task", rank);
   info_.rank = rank;
   info_.size = size;
   info_.rng = &rng_;
@@ -40,6 +41,10 @@ bool Task::try_consume(int src, std::uint64_t tag) {
 }
 
 void Task::deposit(int src, std::uint64_t tag) {
+  // Deliveries must arrive through the fabric/router onto the home shard —
+  // a direct call from another shard's event is exactly the corruption the
+  // annotation layer exists to catch.
+  PASCHED_ASSERT_OWNED(owned_, "deposit");
   const std::uint64_t key = key_of(src, tag);
   ++mailbox_[key];
   if (wait_key_ != key) return;
@@ -53,6 +58,7 @@ void Task::deposit(int src, std::uint64_t tag) {
 }
 
 void Task::io_complete() {
+  PASCHED_ASSERT_OWNED(owned_, "io_complete");
   io_done_ = true;
   node_.kernel().wake(*thread_, kern::kExternalActor);
 }

@@ -13,6 +13,7 @@
 #include "cluster/node.hpp"
 #include "mpi/microop.hpp"
 #include "mpi/workload.hpp"
+#include "race/domain.hpp"
 
 namespace pasched::mpi {
 
@@ -59,6 +60,7 @@ class Task final : public kern::ThreadClient {
   Job& job_;
   int rank_;
   cluster::Node& node_;
+  race::Owned owned_;  // bound to the home node's shard
   kern::Thread* thread_ = nullptr;
   std::unique_ptr<Workload> workload_;
   sim::Rng rng_;

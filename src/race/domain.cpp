@@ -1,0 +1,91 @@
+#include "race/domain.hpp"
+
+#include <sstream>
+
+namespace pasched::race {
+
+namespace {
+
+thread_local Domain t_domain = kFreeContext;
+
+// Plain pointer: installed/cleared only while no workers run (SinkScope
+// brackets the run; the sharded engine's pool is joined in between), and
+// worker reads are ordered by the pool's barrier/thread-creation edges.
+ViolationSink* g_sink = nullptr;
+
+[[noreturn]] void throw_violation(const Violation& v) {
+  std::ostringstream os;
+  os << "shard-ownership violation: " << v.label << "[" << v.id << "] owned"
+     << " by domain " << v.owner << " mutated via '" << v.what
+     << "' from domain " << v.accessor;
+  if (v.last_domain != kUnbound)
+    os << " (last access: domain " << v.last_domain << " @clock "
+       << v.last_clock << ")";
+  throw check::CheckError(os.str());
+}
+
+}  // namespace
+
+Domain current_domain() noexcept { return t_domain; }
+
+ScopedDomain::ScopedDomain(Domain d) noexcept : prev_(t_domain) {
+  t_domain = d;
+}
+
+ScopedDomain::~ScopedDomain() { t_domain = prev_; }
+
+void install_sink(ViolationSink* s) noexcept { g_sink = s; }
+
+ViolationSink* sink() noexcept { return g_sink; }
+
+void Owned::on_access(const char* what) const {
+  const Domain cur = t_domain;
+  if (cur == kFreeContext || domain_ == kUnbound) return;
+  ViolationSink* s = g_sink;
+  if (cur == domain_) {
+    // Owner fast path: stamp the FastTrack last-access epoch so a later
+    // foreign access can be classified ordered vs unordered.
+    if (s != nullptr)
+      last_epoch_.store(EpochCodec::pack(cur, s->clock_of(cur)),
+                        std::memory_order_relaxed);
+    return;
+  }
+  Violation v;
+  v.label = label_;
+  v.id = id_;
+  v.owner = domain_;
+  v.accessor = cur;
+  v.what = what;
+  const std::uint64_t last = last_epoch_.load(std::memory_order_relaxed);
+  if (last != 0) {
+    v.last_domain = EpochCodec::domain_of(last);
+    v.last_clock = EpochCodec::clock_of(last);
+  }
+  if (s != nullptr) {
+    s->report(v);
+    last_epoch_.store(EpochCodec::pack(cur, s->clock_of(cur)),
+                      std::memory_order_relaxed);
+    return;
+  }
+  throw_violation(v);
+}
+
+void assert_write_domain(Domain owner, const char* label, int id,
+                         const char* what) {
+  const Domain cur = t_domain;
+  if (cur == kFreeContext || owner == kUnbound || cur == owner) return;
+  Violation v;
+  v.label = label;
+  v.id = id;
+  v.owner = owner;
+  v.accessor = cur;
+  v.what = what;
+  ViolationSink* s = g_sink;
+  if (s != nullptr) {
+    s->report(v);
+    return;
+  }
+  throw_violation(v);
+}
+
+}  // namespace pasched::race

@@ -1,0 +1,90 @@
+// The pasched-race run drivers: an audited single run (annotation layer +
+// vector-clock monitor attached to the partitioned executor) and the
+// window-perturbation fuzz loop that shrinks conservative windows toward the
+// legal minimum via the model checker's ChoiceSource seam. Every perturbed
+// run must reproduce the unperturbed canonical digest — the lookahead
+// guarantee makes any shorter window equally correct — so a divergence is a
+// latent ordering bug, reported as PSL204 with the replayable mc::Schedule
+// that exposed it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/equivalence.hpp"
+#include "mc/schedule.hpp"
+#include "race/monitor.hpp"
+#include "sim/random.hpp"
+
+namespace pasched::race {
+
+/// A ChoiceSource drawing uniform picks from a seeded Rng while recording
+/// every decision, so a failing perturbation replays exactly through
+/// mc::GuidedSource. Only the barrier completion step queries it
+/// ("shard.window_quantum"), so no locking is needed.
+class RecordingRandomSource final : public sim::ChoiceSource {
+ public:
+  explicit RecordingRandomSource(std::uint64_t seed) : rng_(seed) {}
+  std::size_t choose(std::size_t n, const char* tag) override;
+  [[nodiscard]] const mc::Schedule& trace() const noexcept { return trace_; }
+
+ private:
+  sim::Rng rng_;
+  mc::Schedule trace_;
+};
+
+struct AuditOptions {
+  /// Worker threads for the partitioned run (>= 1). The planted-fault
+  /// regression scenario should run with 1 so the *logical* violation is
+  /// observed without a physical data race.
+  int workers = 2;
+  /// Window-perturbation source (nullptr = full-lookahead windows).
+  sim::ChoiceSource* window_choice = nullptr;
+  /// Plants a direct cross-shard write: an event on shard 0 mutates node 1's
+  /// kernel without going through the router — the CI regression that the
+  /// auditor must catch. Requires a multi-node cluster.
+  bool plant_cross_shard_write = false;
+  /// Simulated time of the planted write.
+  sim::Duration plant_at = sim::Duration::sec(1);
+};
+
+struct AuditRun {
+  core::CanonicalDigest digest;
+  std::vector<analysis::Diagnostic> findings;
+  Monitor::Stats stats;
+};
+
+/// One audited run: forces partitioned execution (`cfg.parallel` is
+/// overridden with opt.workers when it is 0), installs the ownership sink +
+/// seam monitor, and returns the canonical digest plus every PSL2xx finding.
+[[nodiscard]] AuditRun run_audited(const core::SimulationConfig& cfg,
+                                   const mpi::WorkloadFactory& factory,
+                                   const AuditOptions& opt);
+
+struct FuzzResult {
+  int runs = 0;
+  std::uint64_t base_hash = 0;
+  /// All findings across the baseline and every perturbed run (ownership /
+  /// race findings, plus one PSL204 per digest divergence).
+  std::vector<analysis::Diagnostic> findings;
+  /// The recorded schedule of the first diverging run (empty when none).
+  mc::Schedule failing;
+  bool diverged = false;
+};
+
+/// Runs the unperturbed baseline, then `iterations` seeded window
+/// perturbations, checking each digest against the baseline.
+[[nodiscard]] FuzzResult fuzz_windows(const core::SimulationConfig& cfg,
+                                      const mpi::WorkloadFactory& factory,
+                                      int iterations, std::uint64_t seed,
+                                      int workers);
+
+/// Replays one recorded perturbation schedule (a PSL204 counterexample)
+/// through mc::GuidedSource and returns the audited run.
+[[nodiscard]] AuditRun replay_schedule(const core::SimulationConfig& cfg,
+                                       const mpi::WorkloadFactory& factory,
+                                       const mc::Schedule& schedule,
+                                       int workers);
+
+}  // namespace pasched::race

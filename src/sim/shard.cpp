@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "check/check.hpp"
+#include "race/domain.hpp"
+#include "sim/choice.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::sim {
@@ -34,6 +36,9 @@ ShardedEngine::~ShardedEngine() { drain(); }
 
 void ShardedEngine::post(int src_shard, int dst_shard, Time t,
                          Engine::Callback fn) {
+  // A component claiming to post from a shard it is not executing on would
+  // bypass the whole ownership discipline — catch the spoof at the seam.
+  PASCHED_ASSERT_DOMAIN(src_shard, "sim.Router", dst_shard, "post");
   if (src_shard == dst_shard) {
     engine_of(src_shard).schedule_at(t, std::move(fn));
     return;
@@ -47,6 +52,8 @@ void ShardedEngine::post(int src_shard, int dst_shard, Time t,
                     src_shard,
                     post_seq_[static_cast<std::size_t>(src_shard)]++,
                     std::move(fn)};
+  if (monitor_ != nullptr)
+    monitor_->on_post(src_shard, dst_shard, t, ev.sent_at, ev.src_seq);
   Inbox& in = *inboxes_[static_cast<std::size_t>(dst_shard)];
   const std::scoped_lock lk(in.mu);
   in.q.push_back(std::move(ev));
@@ -80,6 +87,8 @@ void ShardedEngine::drain_inbox(int shard) {
                       "cross-shard event under-stamped its lookahead");
     PASCHED_CHECK_MSG(ev.t >= e.now(),
                       "cross-shard event arrived in the destination's past");
+    if (monitor_ != nullptr)
+      monitor_->on_admit(shard, ev.src_shard, ev.src_seq, ev.t, e.now());
     e.schedule_at(ev.t, std::move(ev.fn));
   }
 }
@@ -117,8 +126,24 @@ void ShardedEngine::plan_round(Time deadline) noexcept {
     final_done_ = true;
   } else {
     round_ = Round::Window;
-    window_end_ = t0 + lookahead_;
+    // The full lookahead is the *largest* legal window; any shorter span is
+    // equally conservative (events can only post further into the future).
+    // The perturbation seam shrinks it toward the 1 ns minimum so the
+    // pasched-race fuzzer can vary barrier phasing without ever breaking
+    // the causality guarantee.
+    Duration quantum = lookahead_;
+    if (window_choice_ != nullptr) {
+      const std::size_t pick =
+          window_choice_->choose(kWindowQuantumBuckets, "shard.window_quantum");
+      quantum = lookahead_ * static_cast<std::int64_t>(pick + 1) /
+                static_cast<std::int64_t>(kWindowQuantumBuckets);
+      if (quantum < Duration::ns(1)) quantum = Duration::ns(1);
+    }
+    window_end_ = t0 + quantum;
   }
+  if (monitor_ != nullptr && round_ != Round::Stop)
+    monitor_->on_plan(round_ == Round::Final ? deadline : window_end_,
+                      round_ == Round::Final);
 }
 
 bool ShardedEngine::run_until(Time deadline, int workers) {
@@ -142,6 +167,10 @@ bool ShardedEngine::run_until(Time deadline, int workers) {
         try {
           for (;;) {
             for (int s = w; s < S; s += W) {
+              // Admission mutates the destination shard's engine, so it runs
+              // under that shard's domain; the scope ends before the barrier
+              // so completion-step wrapups execute at kFreeContext.
+              const race::ScopedDomain sd(s);
               drain_inbox(s);
               next_t_[static_cast<std::size_t>(s)] =
                   engine_of(s).next_event_time();
@@ -150,6 +179,10 @@ bool ShardedEngine::run_until(Time deadline, int workers) {
             const Round r = round_;
             if (r == Round::Stop) break;
             for (int s = w; s < S; s += W) {
+              const race::ScopedDomain sd(s);
+              if (monitor_ != nullptr)
+                monitor_->on_window_begin(
+                    s, r == Round::Final ? deadline : window_end_);
               if (r == Round::Final) {
                 engine_of(s).run_until(deadline);
               } else {

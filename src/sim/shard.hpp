@@ -38,6 +38,33 @@ struct CrossNodeEvent {
   Engine::Callback fn;
 };
 
+/// Observer of the cross-shard seams — the hooks the race/determinism
+/// auditor (race::Monitor) hangs its vector-clock checker on. All methods
+/// must be thread-safe under the sharded engine's execution model:
+/// on_post runs on the source shard's worker, on_admit on the destination
+/// shard's worker, on_window_begin on the owning shard's worker, and
+/// on_plan in the barrier completion step (every worker parked). When no
+/// monitor is installed the engine pays one pointer test per seam.
+class ShardMonitor {
+ public:
+  virtual ~ShardMonitor() = default;
+  /// A cross-shard post left `src_shard` (its clock at `sent_at`) for
+  /// delivery at `t` on `dst_shard`; `src_seq` is the per-source sequence
+  /// that identifies the message at admission.
+  virtual void on_post(int src_shard, int dst_shard, Time t, Time sent_at,
+                       std::uint64_t src_seq) = 0;
+  /// The destination drained the message into its engine; `dst_now` is the
+  /// destination clock at admission.
+  virtual void on_admit(int dst_shard, int src_shard, std::uint64_t src_seq,
+                        Time t, Time dst_now) = 0;
+  /// `shard`'s worker is about to execute a window ending at `window_end`
+  /// (the deadline for the final, inclusive window).
+  virtual void on_window_begin(int shard, Time window_end) = 0;
+  /// The barrier completion step planned the next round: every shard is
+  /// quiesced, so cross-shard happens-before is total here.
+  virtual void on_plan(Time window_end, bool final_window) = 0;
+};
+
 class ShardedEngine final : public Router {
  public:
   /// One shard per node plus (for multi-node clusters) a hub shard.
@@ -81,6 +108,27 @@ class ShardedEngine final : public Router {
   /// structurally consistent. Called by the destructor; callable earlier.
   void drain();
 
+  // Auditing ------------------------------------------------------------------
+  /// Installs a cross-shard seam observer (non-owning; nullptr to clear).
+  /// Set while no workers run.
+  void set_monitor(ShardMonitor* m) noexcept { monitor_ = m; }
+  [[nodiscard]] ShardMonitor* monitor() const noexcept { return monitor_; }
+
+  /// Window-perturbation choice point: when a source is installed, each
+  /// planned window's span is drawn from it ("shard.window_quantum",
+  /// kWindowQuantumBuckets evenly spaced fractions of the lookahead)
+  /// instead of always spanning the full lookahead. Shrinking the window is
+  /// always conservative — the lookahead guarantee is unchanged — so every
+  /// perturbed run must stay bit-identical to the unperturbed one; the
+  /// pasched-race fuzzer drives this seam to flush out orderings that
+  /// accidentally depend on barrier phasing. Non-owning; nullptr restores
+  /// full-lookahead windows.
+  void set_window_choice(ChoiceSource* cs) noexcept { window_choice_ = cs; }
+  [[nodiscard]] ChoiceSource* window_choice() const noexcept {
+    return window_choice_;
+  }
+  static constexpr std::size_t kWindowQuantumBuckets = 8;
+
  private:
   enum class Round : std::uint8_t { Window, Final, Stop };
 
@@ -112,6 +160,8 @@ class ShardedEngine final : public Router {
   std::atomic<bool> stop_flag_{false};
   std::mutex wrapup_mu_;
   std::vector<Engine::Callback> wrapups_;
+  ShardMonitor* monitor_ = nullptr;
+  ChoiceSource* window_choice_ = nullptr;
 };
 
 }  // namespace pasched::sim

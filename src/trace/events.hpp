@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "kern/types.hpp"
+#include "race/domain.hpp"
 #include "sim/time.hpp"
 
 namespace pasched::trace {
@@ -85,6 +86,13 @@ class EventLog {
 
   void record(const Event& e) {
     if (!enabled_) return;
+    // The lock-free sharding contract: a node's bucket is written only from
+    // that node's shard (relying on the sharded engine's identity
+    // node -> shard mapping). Nodeless events go to bucket 0, which only the
+    // free context touches.
+    if (e.node >= 0)
+      PASCHED_ASSERT_DOMAIN(e.node, "trace.EventLog.bucket", e.node,
+                            "record");
     const std::size_t b =
         e.node >= 0 ? static_cast<std::size_t>(e.node) + 1 : 0;
     if (b >= buckets_.size()) buckets_.resize(b + 1);  // single-thread path

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "race/domain.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::trace {
@@ -26,6 +27,11 @@ void Tracer::attach(kern::Kernel& kernel) {
 }
 
 Tracer::PerNode& Tracer::per_node(kern::NodeId node) {
+  // The per-node recording state follows the same lock-free contract as the
+  // event log's buckets: only the node's own shard (or the free context —
+  // attach/enable/clear) may touch it.
+  if (node >= 0)
+    PASCHED_ASSERT_DOMAIN(node, "trace.Tracer.node", node, "per_node");
   const auto n = static_cast<std::size_t>(node < 0 ? 0 : node);
   if (per_node_.size() <= n) per_node_.resize(n + 1);
   if (!per_node_[n]) per_node_[n] = std::make_unique<PerNode>();
@@ -90,6 +96,7 @@ void Tracer::log_event(EventKind kind, Time t, kern::NodeId node,
 }
 
 Tracer::Open& Tracer::slot(kern::NodeId node, kern::CpuId cpu) {
+  PASCHED_ASSERT_DOMAIN(node, "trace.Tracer.slot", node, "slot");
   const auto n = static_cast<std::size_t>(node);
   if (open_.size() <= n) open_.resize(n + 1);
   auto& cpus = open_[n];

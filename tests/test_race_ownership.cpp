@@ -1,0 +1,178 @@
+// Unit tests for the shard-ownership annotation layer (race/domain.hpp):
+// the thread-local domain scope, the Owned tag's check/stamp semantics in
+// both enforcement modes (throw vs. sink), the container-form
+// assert_write_domain, and the epoch packing shared with the monitor.
+//
+// The Owned/sink machinery is always present (only the macro forms compile
+// away), so everything here runs in both validation modes except the final
+// macro-form test, which is gated on PASCHED_VALIDATE_ENABLED.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "race/domain.hpp"
+
+using namespace pasched;
+
+namespace {
+
+/// Minimal sink: collects violations verbatim and serves a settable clock.
+struct CollectingSink final : race::ViolationSink {
+  std::vector<race::Violation> seen;
+  std::uint64_t clock = 0;
+  void report(const race::Violation& v) override { seen.push_back(v); }
+  [[nodiscard]] std::uint64_t clock_of(race::Domain) noexcept override {
+    return clock;
+  }
+};
+
+}  // namespace
+
+TEST(RaceDomain, DefaultContextIsFree) {
+  EXPECT_EQ(race::current_domain(), race::kFreeContext);
+}
+
+TEST(RaceDomain, ScopedDomainSetsRestoresAndNests) {
+  {
+    const race::ScopedDomain outer(2);
+    EXPECT_EQ(race::current_domain(), 2);
+    {
+      const race::ScopedDomain inner(5);
+      EXPECT_EQ(race::current_domain(), 5);
+    }
+    EXPECT_EQ(race::current_domain(), 2);
+  }
+  EXPECT_EQ(race::current_domain(), race::kFreeContext);
+}
+
+TEST(RaceDomain, FreeContextPassesEveryCheck) {
+  race::Owned o;
+  o.bind(3, "test.Object", 7);
+  // No ScopedDomain active: setup/teardown/wrapup contexts may touch
+  // anything.
+  EXPECT_NO_THROW(o.on_access("mutate"));
+  EXPECT_NO_THROW(race::assert_write_domain(3, "test.Buffer", 7, "record"));
+}
+
+TEST(RaceDomain, UnboundObjectPassesFromAnyDomain) {
+  const race::Owned o;  // never bound: hand-built fixture
+  const race::ScopedDomain sd(1);
+  EXPECT_NO_THROW(o.on_access("mutate"));
+  EXPECT_NO_THROW(race::assert_write_domain(race::kUnbound, "test.Buffer", 0,
+                                            "record"));
+}
+
+TEST(RaceDomain, OwnerAccessPasses) {
+  race::Owned o;
+  o.bind(2, "test.Object", 1);
+  const race::ScopedDomain sd(2);
+  EXPECT_NO_THROW(o.on_access("mutate"));
+  EXPECT_NO_THROW(race::assert_write_domain(2, "test.Buffer", 1, "record"));
+}
+
+TEST(RaceDomain, ForeignAccessThrowsWithFullAttribution) {
+  race::Owned o;
+  o.bind(0, "kern.Kernel", 4);
+  const race::ScopedDomain sd(3);
+  try {
+    o.on_access("wake");
+    FAIL() << "expected check::CheckError";
+  } catch (const check::CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kern.Kernel[4]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("domain 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("domain 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'wake'"), std::string::npos) << msg;
+  }
+}
+
+TEST(RaceDomain, AssertWriteDomainThrowsOnForeignAccess) {
+  const race::ScopedDomain sd(1);
+  EXPECT_THROW(
+      race::assert_write_domain(0, "trace.EventLog.bucket", 0, "record"),
+      check::CheckError);
+}
+
+TEST(RaceDomain, SinkSwitchesToCollectAndContinue) {
+  CollectingSink sink;
+  const race::SinkScope scope(&sink);
+  race::Owned o;
+  o.bind(0, "mpi.Task", 9);
+  const race::ScopedDomain sd(2);
+  EXPECT_NO_THROW(o.on_access("deposit"));  // collected, not thrown
+  race::assert_write_domain(1, "trace.Tracer.node", 1, "slot");
+  ASSERT_EQ(sink.seen.size(), 2U);
+  EXPECT_STREQ(sink.seen[0].label, "mpi.Task");
+  EXPECT_EQ(sink.seen[0].id, 9);
+  EXPECT_EQ(sink.seen[0].owner, 0);
+  EXPECT_EQ(sink.seen[0].accessor, 2);
+  EXPECT_STREQ(sink.seen[0].what, "deposit");
+  EXPECT_STREQ(sink.seen[1].label, "trace.Tracer.node");
+  EXPECT_EQ(sink.seen[1].owner, 1);
+}
+
+TEST(RaceDomain, SinkScopeClearsOnExit) {
+  CollectingSink sink;
+  {
+    const race::SinkScope scope(&sink);
+    EXPECT_EQ(race::sink(), &sink);
+  }
+  EXPECT_EQ(race::sink(), nullptr);
+}
+
+TEST(RaceDomain, OwnerAccessStampsEpochForLaterAttribution) {
+  CollectingSink sink;
+  const race::SinkScope scope(&sink);
+  race::Owned o;
+  o.bind(1, "kern.Kernel", 1);
+  sink.clock = 42;
+  {
+    const race::ScopedDomain sd(1);
+    o.on_access("kick");  // owner: stamps (domain 1, clock 42)
+  }
+  {
+    const race::ScopedDomain sd(0);
+    o.on_access("kick");  // foreign: reported with the stamped epoch
+  }
+  ASSERT_EQ(sink.seen.size(), 1U);
+  EXPECT_EQ(sink.seen[0].last_domain, 1);
+  EXPECT_EQ(sink.seen[0].last_clock, 42U);
+}
+
+TEST(RaceDomain, FirstAccessCarriesNoEpoch) {
+  CollectingSink sink;
+  const race::SinkScope scope(&sink);
+  race::Owned o;
+  o.bind(1, "kern.Kernel", 1);
+  const race::ScopedDomain sd(0);
+  o.on_access("kick");  // foreign, but the object was never touched before
+  ASSERT_EQ(sink.seen.size(), 1U);
+  EXPECT_EQ(sink.seen[0].last_domain, race::kUnbound);
+  EXPECT_EQ(sink.seen[0].last_clock, 0U);
+}
+
+TEST(RaceDomain, EpochCodecRoundTrips) {
+  for (const race::Domain d : {race::kUnbound, race::kFreeContext, 0, 1, 64}) {
+    for (const std::uint64_t c : {std::uint64_t{0}, std::uint64_t{1},
+                                  std::uint64_t{1} << 40}) {
+      const std::uint64_t e = race::EpochCodec::pack(d, c);
+      EXPECT_NE(e, 0U);  // 0 is reserved for "never accessed"
+      EXPECT_EQ(race::EpochCodec::domain_of(e), d);
+      EXPECT_EQ(race::EpochCodec::clock_of(e), c);
+    }
+  }
+}
+
+#if PASCHED_VALIDATE_ENABLED
+TEST(RaceDomain, MacroFormsForwardToTheCheckers) {
+  race::Owned o;
+  o.bind(0, "test.Object", 0);
+  const race::ScopedDomain sd(1);
+  EXPECT_THROW(PASCHED_ASSERT_OWNED(o, "mutate"), check::CheckError);
+  EXPECT_THROW(PASCHED_ASSERT_DOMAIN(0, "test.Buffer", 0, "record"),
+               check::CheckError);
+}
+#endif  // PASCHED_VALIDATE_ENABLED

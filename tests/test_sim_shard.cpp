@@ -56,6 +56,70 @@ TEST(EngineCancel, MassCancellationCompactsTheHeap) {
   EXPECT_EQ(e.events_processed(), 0U);
 }
 
+TEST(EngineCancel, CancelRepostOfTheSameSlotAcrossWindowsStaysBounded) {
+  // Watchdog pattern regression: a component arms a far-future timeout,
+  // then every window cancels and re-arms it. The freed slot is recycled
+  // immediately (free-list LIFO), so the same slot index is cancelled and
+  // re-posted thousands of times with window boundaries (run_before +
+  // next_event_time pruning) interleaved between heap compactions. The
+  // footprint must stay bounded and the slot table consistent throughout.
+  Engine e;
+  EventId timeout;
+  int fired = 0;
+  for (int w = 0; w < 5000; ++w) {
+    e.cancel(timeout);  // no-op on the first pass (invalid id)
+    timeout = e.schedule_at(e.now() + Duration::ms(10), [] {
+      FAIL() << "a cancelled+re-armed timeout must never fire mid-loop";
+    });
+    e.schedule_at(e.now() + Duration::ns(500),
+                  [&fired] { ++fired; });  // keeps every window non-empty
+    e.run_before(e.now() + Duration::us(1));  // one conservative window
+    EXPECT_LE(e.queue_footprint(), e.events_pending() + 64U)
+        << "stale heap entries accumulating at window " << w;
+  }
+  EXPECT_EQ(fired, 5000);
+  EXPECT_TRUE(e.pending(timeout));  // the final re-arm is still live
+  e.check_consistent();
+  e.cancel(timeout);
+  EXPECT_EQ(e.events_pending(), 0U);
+  e.run();
+  EXPECT_EQ(fired, 5000);
+}
+
+TEST(ShardedCancel, CancelRepostAcrossWindowBoundariesStaysBounded) {
+  // The same watchdog pattern inside the partitioned executor: an event
+  // chain on shard 0 re-posts itself exactly on the window edge (so every
+  // hop lands in a fresh window) and each hop cancels + re-arms a timeout
+  // on its own engine. Exercises cancel()'s compaction against the window
+  // planner's next_event_time() stale-entry pruning.
+  struct Watchdog {
+    ShardedEngine& se;
+    EventId timeout;
+    int remaining;
+    void tick() {
+      Engine& e = se.engine_of(0);
+      e.cancel(timeout);
+      timeout = e.schedule_at(e.now() + Duration::ms(100), [] {
+        FAIL() << "watchdog timeout must stay cancelled";
+      });
+      if (--remaining <= 0) return;
+      Watchdog* self = this;
+      e.schedule_at(e.now() + se.lookahead(), [self] { self->tick(); });
+    }
+  };
+  ShardedEngine se(2, Duration::us(10));
+  Watchdog wd{se, {}, 2000};
+  Watchdog* wdp = &wd;
+  se.engine_of(0).schedule_at(Time::from_ns(100), [wdp] { wdp->tick(); });
+  EXPECT_TRUE(se.run_until(Time::from_ns(2000 * 10'000 + 1'000), 2));
+  EXPECT_EQ(wd.remaining, 0);
+  EXPECT_TRUE(se.engine_of(0).pending(wd.timeout));
+  EXPECT_LE(se.engine_of(0).queue_footprint(),
+            se.engine_of(0).events_pending() + 64U);
+  se.engine_of(0).check_consistent();
+  se.drain();  // releases the armed timeout; asserts emptiness under VALIDATE
+}
+
 TEST(EngineCancel, DrainReleasesEveryPendingEvent) {
   Engine e;
   for (int i = 0; i < 100; ++i) e.schedule_at(Time::from_ns(10 + i), [] {});

@@ -46,6 +46,31 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
   "${repo_root}/tests" "${repo_root}/bench" -name '*.cpp' | sort)
 
+# Self-check the coverage: every subsystem must contribute at least one
+# source. A directory silently dropping out of the sweep (a path typo, a
+# rename, a new subsystem like src/mc or src/race landing after the script
+# was written) is a coverage hole that looks exactly like "tidy is clean" —
+# make it a hard failure instead.
+required_dirs=(src/analysis src/apps src/check src/cluster src/core \
+               src/daemons src/kern src/mc src/mpi src/net src/race \
+               src/sim src/trace src/util tools tests bench)
+for dir in "${required_dirs[@]}"; do
+  if ! printf '%s\n' "${sources[@]}" | grep -q "^${repo_root}/${dir}/"; then
+    echo "run-clang-tidy.sh: FAIL — no sources found under ${dir}/" >&2
+    echo "(new/renamed subsystem? update required_dirs and the sweep)" >&2
+    exit 1
+  fi
+done
+unexpected="$(find "${repo_root}/src" -mindepth 2 -name '*.cpp' \
+  | sed -E "s|^${repo_root}/(src/[^/]+)/.*|\1|" | sort -u \
+  | grep -v -F -x -f <(printf '%s\n' "${required_dirs[@]}") || true)"
+if [ -n "${unexpected}" ]; then
+  echo "run-clang-tidy.sh: FAIL — src subdirectories missing from" >&2
+  echo "required_dirs (add them): ${unexpected}" >&2
+  exit 1
+fi
+echo "coverage: ${#sources[@]} sources across ${#required_dirs[@]} directories"
+
 status=0
 for src in "${sources[@]}"; do
   # tools/ sources are only in the compile database when tools build; pass
