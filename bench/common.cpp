@@ -9,6 +9,7 @@
 #include "apps/channels.hpp"
 #include "mpi/collectives.hpp"
 #include "race/monitor.hpp"
+#include "scale/monitor.hpp"
 #include "sim/shard.hpp"
 #include "util/stats.hpp"
 
@@ -54,8 +55,14 @@ RunResult run_aggregate(const RunSpec& spec) {
   at.alg = spec.mpi.allreduce_alg;
   at.warmup = spec.warmup;
 
+  if (spec.audit && spec.profile_scale)
+    throw std::logic_error(
+        "RunSpec::audit and RunSpec::profile_scale both want the single "
+        "shard-monitor slot; run them as separate passes");
+
   core::Simulation sim(cfg, apps::aggregate_trace(at));
   std::unique_ptr<race::Monitor> monitor;
+  std::unique_ptr<scale::RunMonitor> profiler;
   if (spec.audit) {
     sim::ShardedEngine* sh = sim.sharded();
     if (sh == nullptr)
@@ -64,8 +71,18 @@ RunResult run_aggregate(const RunSpec& spec) {
     sh->set_monitor(monitor.get());
     race::install_sink(monitor.get());
   }
+  if (spec.profile_scale) {
+    sim::ShardedEngine* sh = sim.sharded();
+    if (sh == nullptr)
+      throw std::logic_error("RunSpec::profile_scale requires parallel >= 1");
+    profiler = std::make_unique<scale::RunMonitor>(
+        scale::build_lookahead_matrix(cfg.cluster.fabric, cfg.cluster.nodes),
+        *sh);
+    sh->set_monitor(profiler.get());
+  }
   const auto sres = sim.run();
   if (monitor) race::install_sink(nullptr);
+  if (profiler) profiler->finalize();
 
   const auto& ch = sim.job().channel(apps::kChanAllreduce);
   RunResult r;
@@ -74,6 +91,12 @@ RunResult run_aggregate(const RunSpec& spec) {
   r.procs = cfg.job.ntasks;
   r.elapsed_s = sres.elapsed.to_seconds();
   r.events = sres.events;
+  r.events_at_completion = sres.events_at_completion;
+  if (profiler) {
+    const scale::SpeedupModel model;
+    r.predicted_max_speedup = model.predicted_speedup(profiler->windows(), 8);
+    r.lookahead_violations = profiler->violations();
+  }
   r.recorded = ch.recorded_us;
   if (!r.recorded.empty()) {
     const util::Summary s(r.recorded);

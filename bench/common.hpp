@@ -47,6 +47,11 @@ struct RunSpec {
   /// run (requires parallel >= 1). micro_shard uses it to price the
   /// full-audit mode against the bare annotation layer.
   bool audit = false;
+  /// Arms the pasched-scale window profiler + lookahead certifier (requires
+  /// parallel >= 1; mutually exclusive with `audit` — one monitor slot).
+  /// micro_shard runs one profiled pass to predict the speedup ceiling it
+  /// prints next to the measured speedup.
+  bool profile_scale = false;
 };
 
 struct RunResult {
@@ -65,8 +70,18 @@ struct RunResult {
   double ideal_us = 0;     // analytic no-interference model
   double elapsed_s = 0;    // job wall time
   std::uint64_t events = 0;
+  /// Events fired strictly before job completion — mode-invariant (the raw
+  /// `events` counter legitimately differs: partitioned runs drain their
+  /// final lookahead window past the completing event).
+  std::uint64_t events_at_completion = 0;
   /// Ownership/race findings collected when RunSpec::audit was set.
   std::uint64_t audit_violations = 0;
+  /// Filled when RunSpec::profile_scale was set: the barrier-cost model's
+  /// speedup prediction at 8 workers over the profiled windows, and any
+  /// cross-shard deliveries that undercut the static lookahead certificate
+  /// (must be 0 — a nonzero count means the certificate is unsound).
+  double predicted_max_speedup = 0;
+  std::uint64_t lookahead_violations = 0;
   /// Per-call durations (us) observed by the recorded rank.
   std::vector<double> recorded;
 };

@@ -27,8 +27,15 @@ namespace {
 struct ModeResult {
   std::string name;
   int parallel = 0;
+  /// Worker threads this mode actually uses (legacy = 1).
+  int cores_used = 1;
+  /// False when the mode asks for more workers than the machine has
+  /// hardware threads — its speedup column is a measurement of
+  /// oversubscription, not of the partitioned core.
+  bool speedup_valid = true;
   double wall_ms = 0;
   std::uint64_t events = 0;
+  std::uint64_t events_at_completion = 0;  // must agree across modes
   bool completed = false;
   double mean_us = 0;  // per-Allreduce mean: must agree across modes
   bool audited = false;
@@ -49,11 +56,20 @@ ModeResult run_mode(bench::RunSpec spec, const std::string& name,
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
           t1 - t0)
           .count();
+  m.cores_used = parallel > 0 ? parallel : 1;
   m.events = r.events;
+  m.events_at_completion = r.events_at_completion;
   m.completed = r.completed;
   m.mean_us = r.mean_us;
   m.audited = audit;
   m.audit_violations = r.audit_violations;
+  const unsigned hw = std::thread::hardware_concurrency();
+  m.speedup_valid = hw > 0 && static_cast<unsigned>(m.cores_used) <= hw;
+  if (!m.speedup_valid)
+    std::cerr << "micro_shard: WARNING: mode " << name << " wants "
+              << m.cores_used << " workers but the machine has " << hw
+              << " hardware threads; its speedup column measures "
+                 "oversubscription, not the partitioned core\n";
   return m;
 }
 
@@ -106,10 +122,28 @@ int main(int argc, char** argv) {
   const ModeResult& par8 = modes[4];
   const ModeResult& audited = modes.back();
   const double speedup8 = speedup(par8);
+  const bool speedup8_valid = par8.speedup_valid;
   const double audit_overhead =
       par4.wall_ms > 0 ? audited.wall_ms / par4.wall_ms : 0.0;
+
+  // Separate profiled pass: the pasched-scale window profiler predicts the
+  // speedup ceiling of this workload's conservative windows. Kept out of
+  // the timed modes above so the monitor's bookkeeping never pollutes the
+  // wall-clock columns; one worker suffices (windows are worker-invariant).
+  bench::RunSpec profile_spec = spec;
+  profile_spec.parallel = 1;
+  profile_spec.profile_scale = true;
+  const bench::RunResult profiled = bench::run_aggregate(profile_spec);
+  const double predicted = profiled.predicted_max_speedup;
+
   std::cout << "\nspeedup parallel8 vs legacy: " << speedup8 << "x (on " << hw
-            << " hardware threads)\n"
+            << " hardware threads"
+            << (speedup8_valid ? "" : "; OVERSUBSCRIBED, not meaningful")
+            << ")\n"
+            << "predicted ceiling (barrier-cost model, 8 workers): "
+            << predicted << "x over " << profiled.events_at_completion
+            << " events (" << profiled.lookahead_violations
+            << " lookahead violations)\n"
             << "race-audit overhead vs parallel4: " << audit_overhead
             << "x wall (" << audited.audit_violations << " violations)\n"
             << "validate (ownership annotations compiled in): "
@@ -134,7 +168,10 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < modes.size(); ++i) {
     const ModeResult& m = modes[i];
     js << "    {\"mode\": \"" << m.name << "\", \"parallel\": " << m.parallel
+       << ", \"cores\": " << m.cores_used
+       << ", \"speedup_valid\": " << (m.speedup_valid ? "true" : "false")
        << ", \"wall_ms\": " << m.wall_ms << ", \"events\": " << m.events
+       << ", \"events_at_completion\": " << m.events_at_completion
        << ", \"speedup_vs_legacy\": " << speedup(m)
        << ", \"audited\": " << (m.audited ? "true" : "false")
        << ", \"audit_violations\": " << m.audit_violations
@@ -142,6 +179,9 @@ int main(int argc, char** argv) {
        << (i + 1 < modes.size() ? "," : "") << "\n";
   }
   js << "  ],\n  \"speedup_parallel8_vs_legacy\": " << speedup8
+     << ",\n  \"speedup_valid\": " << (speedup8_valid ? "true" : "false")
+     << ",\n  \"predicted_max_speedup\": " << predicted
+     << ",\n  \"lookahead_violations\": " << profiled.lookahead_violations
      << ",\n  \"audit_overhead_vs_parallel4\": " << audit_overhead << "\n}\n";
   std::cout << "wrote BENCH_shard.json\n";
 
@@ -154,6 +194,17 @@ int main(int argc, char** argv) {
     if (m.mean_us != modes[1].mean_us) {
       std::cerr << "micro_shard: mode " << m.name
                 << " disagrees with parallel1 on mean Allreduce time\n";
+      return 1;
+    }
+    // The raw event counters legitimately differ (the partitioned core
+    // drains its final window past the completing event); the normalized
+    // below-completion counter must not.
+    if (m.events_at_completion != modes[1].events_at_completion) {
+      std::cerr << "micro_shard: mode " << m.name << " counted "
+                << m.events_at_completion
+                << " events below completion but parallel1 counted "
+                << modes[1].events_at_completion
+                << "; the modes executed different histories\n";
       return 1;
     }
     if (m.audit_violations != 0) {

@@ -19,12 +19,13 @@ bool has_thread(const trace::Event& e) {
 
 }  // namespace
 
-HbGraph HbGraph::build(std::vector<trace::Event> events) {
+HbGraph HbGraph::build(std::vector<trace::Event> events, bool with_clocks) {
   HbGraph g;
   g.events_ = std::move(events);
   const std::size_t n = g.events_.size();
   g.thread_of_.assign(n, -1);
-  g.clocks_.assign(n, {});
+  g.cross_pred_.assign(n, -1);
+  g.clocks_.assign(with_clocks ? n : 0, {});
 
   std::unordered_map<std::int64_t, int> thread_index;
   for (std::size_t i = 0; i < n; ++i) {
@@ -53,15 +54,19 @@ HbGraph HbGraph::build(std::vector<trace::Event> events) {
     if (e.kind == trace::EventKind::MsgRecv) {
       const auto it = in_flight.find(e.msg_id);
       if (it != in_flight.end() && !it->second.empty()) {
-        const std::vector<std::uint32_t>& sent = g.clocks_[it->second.front()];
+        const std::size_t send = it->second.front();
         it->second.pop_front();
-        for (std::size_t k = 0; k < t; ++k)
-          clock[k] = std::max(clock[k], sent[k]);
+        g.cross_pred_[i] = static_cast<std::int64_t>(send);
+        if (with_clocks) {
+          const std::vector<std::uint32_t>& sent = g.clocks_[send];
+          for (std::size_t k = 0; k < t; ++k)
+            clock[k] = std::max(clock[k], sent[k]);
+        }
       }
     }
 
     ++clock[static_cast<std::size_t>(ti)];
-    g.clocks_[i] = clock;
+    if (with_clocks) g.clocks_[i] = clock;
 
     if (e.kind == trace::EventKind::MsgSend) in_flight[e.msg_id].push_back(i);
   }

@@ -68,6 +68,17 @@ SimulationResult Simulation::run() {
   r.elapsed = r.completed ? job_->elapsed() : cfg_.horizon;
   r.events = sharded_ != nullptr ? sharded_->events_processed()
                                  : engine_->events_processed();
+  if (r.completed) {
+    // The classic engine stops with now() at the completion event's time, so
+    // its before-now counter is exactly "events with t < T_c"; partitioned
+    // runs subtract the final window's tail at or past T_c.
+    r.events_at_completion =
+        sharded_ != nullptr
+            ? sharded_->events_processed_before(job_->completion_time())
+            : engine_->events_processed_before_now();
+  } else {
+    r.events_at_completion = r.events;
+  }
   r.any_node_evicted = cluster_->any_node_evicted();
   return r;
 }

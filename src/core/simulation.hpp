@@ -47,7 +47,14 @@ struct SimulationConfig {
 struct SimulationResult {
   bool completed = false;
   sim::Duration elapsed = sim::Duration::zero();
+  /// Raw events fired, mode-dependent: the classic engine stops at the
+  /// completing event while partitioned runs drain the rest of their final
+  /// lookahead window, so this counter legitimately differs across modes.
   std::uint64_t events = 0;
+  /// Events fired strictly before the job's completion time — the
+  /// mode-invariant counter (bit-identical histories below T_c imply equal
+  /// counts). Falls back to `events` when the job did not complete.
+  std::uint64_t events_at_completion = 0;
   bool any_node_evicted = false;
 };
 

@@ -9,14 +9,31 @@ namespace pasched::net {
 using sim::Duration;
 using sim::Time;
 
-Duration guaranteed_lookahead(const FabricConfig& cfg) {
+namespace {
+// Shrinks a pre-jitter latency floor by the worst-case jitter draw. One
+// nanosecond of slack absorbs the double->int truncation in Rng::jittered;
+// clamp to at least 1 ns so windows always advance.
+Duration jitter_floor(Duration latency, double jitter_frac) {
   const double floor_ns =
-      static_cast<double>(cfg.inter_node_latency.count()) *
-      (1.0 - cfg.jitter_frac);
-  // One nanosecond of slack absorbs the double->int truncation in
-  // Rng::jittered; clamp to at least 1 ns so windows always advance.
+      static_cast<double>(latency.count()) * (1.0 - jitter_frac);
   const std::int64_t ns = static_cast<std::int64_t>(floor_ns) - 1;
   return Duration::ns(std::max<std::int64_t>(ns, 1));
+}
+}  // namespace
+
+Duration guaranteed_lookahead(const FabricConfig& cfg) {
+  return jitter_floor(cfg.inter_node_latency, cfg.jitter_frac);
+}
+
+Duration min_latency_between(const FabricConfig& cfg, int a, int b) {
+  Duration base = cfg.inter_node_latency;
+  if (a != b && cfg.frame_size > 0 && cfg.frame_of(a) != cfg.frame_of(b))
+    base += cfg.inter_frame_extra;
+  return base;
+}
+
+Duration guaranteed_lookahead_between(const FabricConfig& cfg, int a, int b) {
+  return jitter_floor(min_latency_between(cfg, a, b), cfg.jitter_frac);
 }
 
 namespace {
@@ -24,6 +41,10 @@ void check_config(const FabricConfig& cfg) {
   PASCHED_EXPECTS(cfg.inter_node_latency > Duration::zero());
   PASCHED_EXPECTS(cfg.intra_node_latency > Duration::zero());
   PASCHED_EXPECTS(cfg.jitter_frac >= 0.0 && cfg.jitter_frac < 1.0);
+  PASCHED_EXPECTS(cfg.frame_size >= 0);
+  PASCHED_EXPECTS_MSG(cfg.inter_frame_extra >= Duration::zero(),
+                      "a negative inter-frame hop would put cross-frame "
+                      "latency below the global lookahead floor");
 }
 }  // namespace
 
@@ -64,8 +85,8 @@ Fabric::Port& Fabric::port(kern::NodeId src) {
 
 Duration Fabric::latency_for(kern::NodeId src, kern::NodeId dst,
                              std::size_t bytes) const {
-  const Duration base =
-      src == dst ? cfg_.intra_node_latency : cfg_.inter_node_latency;
+  const Duration base = src == dst ? cfg_.intra_node_latency
+                                   : min_latency_between(cfg_, src, dst);
   return base + cfg_.per_byte * static_cast<std::int64_t>(bytes);
 }
 

@@ -38,6 +38,22 @@ struct FabricConfig {
   /// Sequential-only: ingress serialization couples all senders to one
   /// node, which has no lookahead, so --parallel rejects it.
   double link_bandwidth = 0.0;
+  /// Optional SP frame topology: when > 0, nodes are grouped into frames of
+  /// this many nodes, and a delivery whose endpoints sit in different
+  /// frames pays `inter_frame_extra` on top of inter_node_latency (the
+  /// intermediate-switch-board hop of a multi-frame SP system). 0 keeps the
+  /// flat single-switch fabric — the default, and what every shipped preset
+  /// uses. The per-shard-pair lookahead matrix (src/scale/) turns this
+  /// structure into pairwise bounds; the single global guaranteed_lookahead
+  /// stays pinned to the intra-frame minimum.
+  int frame_size = 0;
+  sim::Duration inter_frame_extra = sim::Duration::zero();
+
+  /// The frame a node belongs to (node order is frame-major); nodes share a
+  /// frame exactly when frame_of is equal. Flat fabric = one frame.
+  [[nodiscard]] int frame_of(int node) const noexcept {
+    return frame_size > 0 ? node / frame_size : 0;
+  }
 };
 
 /// Minimum latency any cross-node delivery can experience under `cfg` —
@@ -46,6 +62,21 @@ struct FabricConfig {
 /// the conservative parallel executor synchronizes on: a message sent at t
 /// arrives no earlier than t + guaranteed_lookahead(cfg).
 [[nodiscard]] sim::Duration guaranteed_lookahead(const FabricConfig& cfg);
+
+/// Minimum pre-jitter wire latency of a delivery between two *distinct*
+/// nodes under `cfg` (per-byte serialization excluded — a zero-byte message
+/// is the worst case). With a frame topology this is inter_node_latency
+/// plus the inter-frame hop when the nodes' frames differ.
+[[nodiscard]] sim::Duration min_latency_between(const FabricConfig& cfg,
+                                                int a, int b);
+
+/// Per-pair guaranteed lookahead: min_latency_between shrunk by the same
+/// worst-case jitter draw (and truncation slack) as guaranteed_lookahead.
+/// Always >= guaranteed_lookahead(cfg) — the global bound is the matrix
+/// minimum, which is exactly the headroom the per-pair certificate
+/// (src/scale/lookahead.hpp) quantifies.
+[[nodiscard]] sim::Duration guaranteed_lookahead_between(
+    const FabricConfig& cfg, int a, int b);
 
 struct FabricStats {
   std::uint64_t messages = 0;

@@ -1,0 +1,30 @@
+// One-call pasched-scale analysis: build the static lookahead certificate
+// for a scenario's fabric, run the scenario once under the partitioned
+// executor with the RunMonitor certifying every cross-shard delivery and
+// profiling the windows, then run the work/span critical-path DP over the
+// traced happens-before graph. The result carries everything PSL301–306
+// judge.
+#pragma once
+
+#include <string>
+
+#include "core/simulation.hpp"
+#include "mpi/workload.hpp"
+#include "scale/report.hpp"
+
+namespace pasched::scale {
+
+/// Analyzes one scenario. `cfg.parallel` must be >= 1 (the window profile
+/// and the soundness seam only exist on the partitioned executor; one
+/// worker is enough — the windows are worker-count invariant).
+///
+/// `planted` optionally overrides the certificate the RunMonitor checks
+/// (and the matrix recorded in the report) — pasched-scale's
+/// --plant-unsound-bound mode hands in a deliberately inflated copy to
+/// prove PSL303 catches unsound claims.
+[[nodiscard]] ScaleReport analyze_scenario(
+    const core::SimulationConfig& cfg, const mpi::WorkloadFactory& factory,
+    std::string scenario_name, const ScaleOptions& opts = {},
+    const LookaheadMatrix* planted = nullptr);
+
+}  // namespace pasched::scale

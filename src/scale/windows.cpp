@@ -1,0 +1,70 @@
+#include "scale/windows.hpp"
+
+#include <algorithm>
+
+namespace pasched::scale {
+
+std::uint64_t WindowStats::total_events() const noexcept {
+  std::uint64_t n = 0;
+  for (const WindowSample& w : windows) n += w.total;
+  return n;
+}
+
+double WindowStats::mean_events_per_window() const noexcept {
+  if (windows.empty()) return 0.0;
+  return static_cast<double>(total_events()) /
+         static_cast<double>(windows.size());
+}
+
+double WindowStats::median_events_per_window() const noexcept {
+  if (windows.empty()) return 0.0;
+  std::vector<std::uint64_t> totals;
+  totals.reserve(windows.size());
+  for (const WindowSample& w : windows) totals.push_back(w.total);
+  std::sort(totals.begin(), totals.end());
+  return static_cast<double>(totals[totals.size() / 2]);
+}
+
+double WindowStats::imbalance() const noexcept {
+  if (per_shard.empty()) return 1.0;
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : per_shard) {
+    max = std::max(max, v);
+    sum += v;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(per_shard.size());
+  return static_cast<double>(max) / mean;
+}
+
+double WindowStats::hub_critical_share() const noexcept {
+  std::uint64_t hub = 0;
+  std::uint64_t crit = 0;
+  for (const WindowSample& w : windows) {
+    hub += w.hub;
+    crit += w.max_shard;
+  }
+  if (crit == 0) return 0.0;
+  return static_cast<double>(hub) / static_cast<double>(crit);
+}
+
+double SpeedupModel::predicted_speedup(const WindowStats& w,
+                                       int workers) const {
+  if (w.windows.empty() || workers < 1) return 1.0;
+  const double t1 =
+      static_cast<double>(w.total_events()) * event_cost_ns;
+  double tp = 0.0;
+  for (const WindowSample& s : w.windows) {
+    const std::uint64_t share =
+        (s.total + static_cast<std::uint64_t>(workers) - 1) /
+        static_cast<std::uint64_t>(workers);
+    tp += static_cast<double>(std::max(s.max_shard, share)) * event_cost_ns;
+    tp += barrier_cost_ns;
+  }
+  if (tp <= 0.0) return 1.0;
+  return t1 / tp;
+}
+
+}  // namespace pasched::scale

@@ -1,0 +1,74 @@
+#include "scale/workspan.hpp"
+
+#include <algorithm>
+
+namespace pasched::scale {
+
+using sim::Duration;
+using sim::Time;
+
+WorkSpan work_span(const analysis::HbGraph& g) {
+  WorkSpan ws;
+  const std::size_t n = g.size();
+  const auto threads = static_cast<std::size_t>(g.num_threads());
+  ws.threads = g.num_threads();
+
+  std::vector<char> running(threads, 0);
+  std::vector<Time> last_t(threads);
+  std::vector<std::int64_t> last_ev(threads, -1);
+  std::vector<Duration> dist(n, Duration::zero());
+  std::vector<std::int64_t> pred(n, -1);
+
+  std::int64_t sink = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int ti = g.thread_of(i);
+    if (ti < 0) continue;
+    const auto t = static_cast<std::size_t>(ti);
+    const trace::Event& e = g.event(i);
+    ++ws.events;
+
+    // Weight: the time since this thread's previous event, but only while
+    // the thread actually occupied a CPU. State is constant between a
+    // thread's consecutive events, so the flag at the segment's start
+    // decides the whole segment.
+    const Duration seg = (running[t] != 0 && last_ev[t] >= 0)
+                             ? e.t - last_t[t]
+                             : Duration::zero();
+    ws.work += seg;
+
+    Duration best = Duration::zero();
+    std::int64_t bp = -1;
+    if (last_ev[t] >= 0) {
+      best = dist[static_cast<std::size_t>(last_ev[t])];
+      bp = last_ev[t];
+    }
+    const std::int64_t cp = g.cross_pred(i);
+    if (cp >= 0 && dist[static_cast<std::size_t>(cp)] > best) {
+      best = dist[static_cast<std::size_t>(cp)];
+      bp = cp;
+    }
+    dist[i] = best + seg;
+    pred[i] = bp;
+    if (sink < 0 || dist[i] > ws.span) {
+      ws.span = dist[i];
+      sink = static_cast<std::int64_t>(i);
+    }
+
+    last_ev[t] = static_cast<std::int64_t>(i);
+    last_t[t] = e.t;
+    switch (e.kind) {
+      case trace::EventKind::Dispatch: running[t] = 1; break;
+      case trace::EventKind::Preempt:
+      case trace::EventKind::Block:
+      case trace::EventKind::Exit: running[t] = 0; break;
+      default: break;  // Ready and message events do not change occupancy
+    }
+  }
+
+  for (std::int64_t i = sink; i >= 0; i = pred[static_cast<std::size_t>(i)])
+    ws.critical_path.push_back(static_cast<std::size_t>(i));
+  std::reverse(ws.critical_path.begin(), ws.critical_path.end());
+  return ws;
+}
+
+}  // namespace pasched::scale

@@ -82,7 +82,8 @@ void Engine::fire_item(const HeapItem& item) {
                     "armed slot has no callback to fire");
   last_fired_t_ = item.t;
   last_fired_seq_ = item.seq;
-  now_ = item.t;
+  advance_clock(item.t);
+  if (fire_log_armed_) fire_log_.push_back(item.t);
   // Move the callback out before releasing so the handler can freely
   // schedule/cancel (including reusing this very slot).
   Callback fn = std::move(s.fn);
@@ -190,7 +191,7 @@ bool Engine::run_until(Time deadline) {
         continue;
       }
       if (top.t > deadline) {
-        now_ = deadline;
+        advance_clock(deadline);
         return true;
       }
       fired = fire_next();
@@ -198,7 +199,7 @@ bool Engine::run_until(Time deadline) {
     }
     if (!fired) {
       if (heap_.empty()) {
-        now_ = deadline;
+        advance_clock(deadline);
         return true;
       }
     }
@@ -219,7 +220,12 @@ void Engine::run_before(Time end) {
     if (top.t >= end) break;
     fire_next();
   }
-  now_ = end;
+  advance_clock(end);
+}
+
+std::uint64_t Engine::fires_at_or_after(Time t) const noexcept {
+  const auto it = std::lower_bound(fire_log_.begin(), fire_log_.end(), t);
+  return static_cast<std::uint64_t>(fire_log_.end() - it);
 }
 
 void Engine::drain() {

@@ -127,7 +127,25 @@ class Engine {
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return processed_;
   }
+  /// Events fired with timestamp strictly below now(). When the engine stops
+  /// at a completion event (now() == T_c), this is the mode-invariant
+  /// "events before completion" counter: same-timestamp stragglers and the
+  /// completing event itself are excluded, exactly like the t < T_c
+  /// truncation the canonical digest applies.
+  [[nodiscard]] std::uint64_t events_processed_before_now() const noexcept {
+    return processed_before_now_;
+  }
   [[nodiscard]] std::size_t events_pending() const noexcept { return live_; }
+
+  /// Fire-time log: when armed, every fired event appends its timestamp
+  /// (monotone by construction). The sharded engine arms it and clears it at
+  /// each window begin, so after a stop the log holds exactly the final
+  /// window's fire times — the tail a completion-normalized event count must
+  /// subtract (see ShardedEngine::events_processed_before).
+  void arm_fire_log() noexcept { fire_log_armed_ = true; }
+  void clear_fire_log() noexcept { fire_log_.clear(); }
+  /// Logged fires with timestamp >= t (binary search; the log is sorted).
+  [[nodiscard]] std::uint64_t fires_at_or_after(Time t) const noexcept;
 
   /// Scheduling-order sequence number of the most recently fired event.
   /// The model checker uses it to correlate engine pops with trace windows.
@@ -175,6 +193,15 @@ class Engine {
   bool fire_next();
   bool fire_tied();
   void fire_item(const HeapItem& item);
+  // Every clock advance goes through here so processed_before_now_ stays
+  // exact: when now() moves strictly forward, everything processed so far
+  // fired strictly in the past.
+  void advance_clock(Time t) noexcept {
+    if (t > now_) {
+      processed_before_now_ = processed_;
+      now_ = t;
+    }
+  }
 
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
@@ -182,6 +209,9 @@ class Engine {
   Time now_ = Time::zero();
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t processed_before_now_ = 0;
+  std::vector<Time> fire_log_;
+  bool fire_log_armed_ = false;
   std::size_t live_ = 0;
   bool stopped_ = false;
   TieBreak* tie_break_ = nullptr;

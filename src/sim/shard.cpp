@@ -26,6 +26,10 @@ ShardedEngine::ShardedEngine(int nodes, Duration lookahead)
   inboxes_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     engines_.push_back(std::make_unique<Engine>());
+    // Fire logs stay armed for the engine's lifetime; each window clears
+    // them, so after a stop they hold exactly the final window's fire times
+    // (events_processed_before subtracts that tail).
+    engines_.back()->arm_fire_log();
     inboxes_.push_back(std::make_unique<Inbox>());
   }
   post_seq_.assign(static_cast<std::size_t>(shards), 0);
@@ -180,6 +184,7 @@ bool ShardedEngine::run_until(Time deadline, int workers) {
             if (r == Round::Stop) break;
             for (int s = w; s < S; s += W) {
               const race::ScopedDomain sd(s);
+              engine_of(s).clear_fire_log();
               if (monitor_ != nullptr)
                 monitor_->on_window_begin(
                     s, r == Round::Final ? deadline : window_end_);
@@ -211,6 +216,16 @@ bool ShardedEngine::run_until(Time deadline, int workers) {
 std::uint64_t ShardedEngine::events_processed() const {
   std::uint64_t total = 0;
   for (const auto& e : engines_) total += e->events_processed();
+  return total;
+}
+
+std::uint64_t ShardedEngine::events_processed_before(Time t) const {
+  // The tail (fires at or past t) lives entirely in the last executed
+  // window: every earlier window ended at or before that window's start,
+  // which is at or before t when t is inside the last window.
+  std::uint64_t total = 0;
+  for (const auto& e : engines_)
+    total += e->events_processed() - e->fires_at_or_after(t);
   return total;
 }
 

@@ -101,6 +101,16 @@ class ShardedEngine final : public Router {
   bool run_until(Time deadline, int workers);
 
   [[nodiscard]] std::uint64_t events_processed() const;
+  /// Events fired with timestamp strictly below `t`. Valid after run_until()
+  /// returned with `t` inside the last executed window (the completion-time
+  /// case: the stopping wrapup runs at the plan barrier right after the
+  /// window that fired the completing event, so every fire at or past `t`
+  /// still sits in the per-engine fire logs of that window). This is the
+  /// counter that matches the classic engine's events_processed_before_now()
+  /// — partitioned runs drain the rest of their final lookahead window past
+  /// the completion event, so raw counts legitimately differ across modes
+  /// while this one must not.
+  [[nodiscard]] std::uint64_t events_processed_before(Time t) const;
   [[nodiscard]] std::size_t events_pending() const;
 
   /// Cancels all pending events and discards undelivered cross-shard posts.
