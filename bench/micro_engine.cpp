@@ -1,88 +1,171 @@
-// Microbenchmarks of the simulator substrate itself (google-benchmark):
-// event-queue throughput, cancellation, and kernel tick machinery. These
-// guard the simulator's performance, which bounds how large a cluster the
-// reproduction benches can sweep.
-#include <benchmark/benchmark.h>
-
+// micro_engine: single-shard event-throughput microbench — the baseline
+// for ROADMAP open item 2 (event-engine hot-path work).
+//
+// Two modes run the identical workload (K concurrent self-rescheduling
+// event chains advancing in fixed steps until ~N total events fire):
+//
+//   legacy     the classic sim::Engine drives the chains directly
+//   parallel1  the same chains run inside a single-node ShardedEngine
+//              under run_until(workers=1) — pricing the conservative-
+//              window machinery (drain, plan, barrier) per event
+//
+// Both paths fire the same events in the same order, so the throughput
+// ratio isolates the partitioned core's per-event overhead. Results are
+// written as JSON to BENCH_engine.json (schema documented in README.md)
+// so successive PRs can diff events/sec across engine changes.
+//
+//   ./micro_engine [--chains=K] [--events=N] [--repeats=R]
+//       [--spacing-ns=S] [--out=FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
 #include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "cluster/cluster.hpp"
 #include "sim/engine.hpp"
-#include "sim/random.hpp"
+#include "sim/shard.hpp"
+#include "util/flags.hpp"
 
 using namespace pasched;
-using namespace pasched::sim::literals;
 
 namespace {
 
-void BM_EngineScheduleFire(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Engine e;
-    std::uint64_t sink = 0;
-    const int n = static_cast<int>(state.range(0));
-    for (int i = 0; i < n; ++i) {
-      e.schedule_at(sim::Time::zero() + sim::Duration::ns(i), [&sink] { ++sink; });
-    }
-    e.run();
-    benchmark::DoNotOptimize(sink);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_EngineScheduleFire)->Arg(1000)->Arg(100000);
+struct Config {
+  int chains = 64;
+  std::uint64_t events = 1'000'000;
+  int repeats = 5;
+  std::int64_t spacing_ns = 1'000;
+  std::string out = "BENCH_engine.json";
+};
 
-void BM_EngineSelfRescheduling(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Engine e;
-    std::uint64_t count = 0;
-    const std::uint64_t limit = static_cast<std::uint64_t>(state.range(0));
-    std::function<void()> tick = [&] {
-      if (++count < limit) e.schedule_after(1_us, [&] { tick(); });
-    };
-    e.schedule_after(1_us, [&] { tick(); });
-    e.run();
-    benchmark::DoNotOptimize(count);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_EngineSelfRescheduling)->Arg(100000);
+struct ModeResult {
+  std::string mode;
+  std::uint64_t events = 0;
+  std::vector<double> runs_events_per_sec;
+  double best = 0;
+  double median = 0;
+};
 
-void BM_EngineCancelHeavy(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Engine e;
-    std::vector<sim::EventId> ids;
-    const int n = static_cast<int>(state.range(0));
-    ids.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i)
-      ids.push_back(
-          e.schedule_at(sim::Time::zero() + sim::Duration::ns(i), [] {}));
-    for (int i = 0; i < n; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
-    e.run();
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
-BENCHMARK(BM_EngineCancelHeavy)->Arg(100000);
 
-void BM_IdleNodeTicks(benchmark::State& state) {
-  // Cost of simulating one second of an idle 16-way node (ticks + daemons).
-  for (auto _ : state) {
-    sim::Engine e;
-    cluster::ClusterConfig cfg = cluster::presets::frost(1);
-    cluster::Cluster c(e, cfg);
-    c.start();
-    e.run_until(sim::Time::zero() + 1_s);
-    benchmark::DoNotOptimize(e.events_processed());
-  }
+/// Arms `chains` self-rescheduling chains on `e`; each fire bumps the
+/// shared counter and re-arms `spacing` later while budget remains, so
+/// both modes execute the same event stream. Returns the fired count.
+std::uint64_t drive_chains(sim::Engine& e, const Config& cfg,
+                           const std::function<void(sim::Time)>& run_to) {
+  std::uint64_t fired = 0;
+  const sim::Duration spacing = sim::Duration::ns(cfg.spacing_ns);
+  std::function<void()> tick = [&] {
+    if (++fired + static_cast<std::uint64_t>(cfg.chains) <= cfg.events)
+      e.schedule_after(spacing, tick);
+  };
+  for (int c = 0; c < cfg.chains; ++c) e.schedule_at(e.now() + spacing, tick);
+  // Horizon covering every re-arm: events/chains steps plus slack.
+  const std::int64_t steps = static_cast<std::int64_t>(
+      cfg.events / static_cast<std::uint64_t>(cfg.chains)) + 2;
+  run_to(e.now() + spacing * steps);
+  return fired;
 }
-BENCHMARK(BM_IdleNodeTicks);
 
-void BM_RngThroughput(benchmark::State& state) {
-  sim::Rng rng(42);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_u64());
-  }
+double run_legacy_once(const Config& cfg) {
+  sim::Engine e;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t fired =
+      drive_chains(e, cfg, [&](sim::Time until) { e.run_until(until); });
+  return static_cast<double>(fired) / seconds_since(t0);
 }
-BENCHMARK(BM_RngThroughput);
+
+double run_parallel1_once(const Config& cfg) {
+  // One node => one shard, no hub: the same event stream, but every window
+  // pays drain_inbox + plan_round + the barrier phases.
+  sim::ShardedEngine sh(1, sim::Duration::us(10));
+  sim::Engine& e = sh.engine_of(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t fired = drive_chains(
+      e, cfg, [&](sim::Time until) { sh.run_until(until, 1); });
+  return static_cast<double>(fired) / seconds_since(t0);
+}
+
+ModeResult measure(const std::string& mode, const Config& cfg,
+                   double (*once)(const Config&)) {
+  ModeResult r;
+  r.mode = mode;
+  r.events = cfg.events;
+  for (int i = 0; i < cfg.repeats; ++i) {
+    const double eps = once(cfg);
+    r.runs_events_per_sec.push_back(eps);
+    std::cout << "  " << mode << " run " << (i + 1) << "/" << cfg.repeats
+              << ": " << static_cast<std::uint64_t>(eps) << " events/s\n";
+  }
+  std::vector<double> sorted = r.runs_events_per_sec;
+  std::sort(sorted.begin(), sorted.end());
+  r.best = sorted.back();
+  r.median = sorted[sorted.size() / 2];
+  return r;
+}
+
+void emit_mode(std::ostream& os, const ModeResult& r, bool last) {
+  os << "    {\"mode\": \"" << r.mode << "\", \"events\": " << r.events
+     << ", \"best_events_per_sec\": " << static_cast<std::uint64_t>(r.best)
+     << ", \"median_events_per_sec\": " << static_cast<std::uint64_t>(r.median)
+     << ", \"runs\": [";
+  for (std::size_t i = 0; i < r.runs_events_per_sec.size(); ++i)
+    os << (i ? ", " : "")
+       << static_cast<std::uint64_t>(r.runs_events_per_sec[i]);
+  os << "]}" << (last ? "" : ",") << "\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto typos =
+      flags.unknown({"chains", "events", "repeats", "spacing-ns", "out"});
+  if (!typos.empty()) {
+    std::cerr << "micro_engine: unknown flag(s):";
+    for (const std::string& t : typos) std::cerr << " --" << t;
+    std::cerr << "\nusage: micro_engine [--chains=K] [--events=N]"
+                 " [--repeats=R] [--spacing-ns=S] [--out=FILE]\n";
+    return 64;
+  }
+  Config cfg;
+  cfg.chains = static_cast<int>(flags.get_int("chains", cfg.chains));
+  cfg.events = static_cast<std::uint64_t>(
+      flags.get_int("events", static_cast<long long>(cfg.events)));
+  cfg.repeats = static_cast<int>(flags.get_int("repeats", cfg.repeats));
+  cfg.spacing_ns = flags.get_int("spacing-ns", cfg.spacing_ns);
+  cfg.out = flags.get("out", cfg.out);
+  if (cfg.chains < 1 || cfg.events < static_cast<std::uint64_t>(cfg.chains) ||
+      cfg.repeats < 1 || cfg.spacing_ns < 1) {
+    std::cerr << "micro_engine: need chains >= 1, events >= chains, "
+                 "repeats >= 1, spacing-ns >= 1\n";
+    return 64;
+  }
+
+  std::cout << "micro_engine: " << cfg.chains << " chains, " << cfg.events
+            << " events/run, " << cfg.repeats << " repeats\n";
+  const ModeResult legacy = measure("legacy", cfg, run_legacy_once);
+  const ModeResult par1 = measure("parallel1", cfg, run_parallel1_once);
+  const double ratio = legacy.median > 0 ? par1.median / legacy.median : 0;
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"micro_engine\",\n"
+     << "  \"config\": {\"chains\": " << cfg.chains
+     << ", \"events\": " << cfg.events << ", \"repeats\": " << cfg.repeats
+     << ", \"spacing_ns\": " << cfg.spacing_ns << "},\n"
+     << "  \"modes\": [\n";
+  emit_mode(os, legacy, false);
+  emit_mode(os, par1, true);
+  os << "  ],\n  \"parallel1_over_legacy_median\": " << ratio << "\n}\n";
+  std::ofstream out(cfg.out);
+  out << os.str();
+  std::cout << os.str() << "written to " << cfg.out << "\n";
+  return 0;
+}

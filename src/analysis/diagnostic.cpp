@@ -146,6 +146,38 @@ const std::vector<RuleInfo>& all_rules() {
        "the roadmap target — a ceiling below target means engine surgery, "
        "not more workers, is the next move",
        "§5.1 (the paper's scaling claims assume the OS gets out of the way)"},
+      {"PSL401", Severity::Error,
+       "outside src/sim and the harness layers (tools/tests/bench), no code "
+       "may bind a mutable sim::Engine or call its mutators directly — all "
+       "posting goes through sim::EventContext / sim::Router, the seam that "
+       "keeps partitioned execution sound",
+       "§3.2.1 (one global event queue is exactly what does not scale)"},
+      {"PSL402", Severity::Error,
+       "every shard-resident type (cluster::Node, kern::Kernel, mpi::Job/"
+       "Task, daemon and trace state) carries a race::Owned tag, and its "
+       "mutable fields are atomic or ownership-guarded — otherwise "
+       "pasched-race cannot witness a cross-shard mutation",
+       "§3.2 (per-node state must stay per-node when nodes run in parallel)"},
+      {"PSL403", Severity::Error,
+       "a PASCHED_HOT function performs no heap allocation, locking, throw, "
+       "blocking call, or I/O: the per-event path must be straight-line so "
+       "windows amortize their barriers",
+       "§3.1.1 (sub-quantum slices leave no room for kernel detours)"},
+      {"PSL404", Severity::Error,
+       "PASCHED_CHECK / PASCHED_ASSERT_* arguments are pure observations: "
+       "the expression vanishes under -DPASCHED_VALIDATE=OFF, so a side "
+       "effect there makes validated and release builds diverge",
+       "§4 (the prototype must behave identically with probes removed)"},
+      {"PSL405", Severity::Error,
+       "the deterministic core (sim/kern/net/mpi) contains no wall-clock, "
+       "libc randomness, or unordered-container iteration — traces and "
+       "digests are a pure function of the seed",
+       "§4.1 (runs are compared across kernels; noise voids the comparison)"},
+      {"PSL406", Severity::Error,
+       "no detached or raw std::thread outside the ShardedEngine worker "
+       "pool: ad-hoc threads bypass domain scoping and the window barrier "
+       "protocol",
+       "§3.2.1 (parallelism belongs to the engine, not to callers)"},
   };
   return kRules;
 }

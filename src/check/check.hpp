@@ -52,18 +52,21 @@ class CheckError : public std::logic_error {
 
 #else
 
-// Off: the condition and message are *not* evaluated (zero overhead), but
-// still parsed, so a broken check expression cannot bit-rot unnoticed.
-#define PASCHED_CHECK(cond)             \
-  do {                                  \
-    if (false && (cond)) {              \
-    }                                   \
+// Off: the condition and message are *not* evaluated — they live inside a
+// sizeof, an unevaluated operand, so the expansion is a compile-time
+// constant with zero codegen at every optimization level. The arguments
+// are still parsed AND type-checked (the condition must convert to bool),
+// so a broken check expression cannot bit-rot unnoticed, and a
+// side-effect-only void expression (the classic PSL404 hazard) fails to
+// compile instead of silently diverging from the validated build.
+#define PASCHED_CHECK(cond)                               \
+  do {                                                    \
+    static_cast<void>(sizeof(static_cast<bool>(cond)));   \
   } while (0)
-#define PASCHED_CHECK_MSG(cond, msg)    \
-  do {                                  \
-    if (false && (cond)) {              \
-      static_cast<void>(msg);           \
-    }                                   \
+#define PASCHED_CHECK_MSG(cond, msg)                      \
+  do {                                                    \
+    static_cast<void>(                                    \
+        sizeof((static_cast<void>(msg), static_cast<bool>(cond)))); \
   } while (0)
 
 #endif  // PASCHED_VALIDATE_ENABLED

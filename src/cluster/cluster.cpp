@@ -6,6 +6,7 @@
 
 namespace pasched::cluster {
 
+// srclint-ok(PSL401): legacy bridge — wrapped into SingleRouter on entry.
 Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg)
     : owned_router_(std::make_unique<sim::SingleRouter>(engine)),
       router_(owned_router_.get()),

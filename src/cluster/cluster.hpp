@@ -26,6 +26,8 @@ class Cluster {
  public:
   /// Classic mode: one engine runs every node (a SingleRouter is installed
   /// internally so the code paths above are identical in both modes).
+  // srclint-ok(PSL401): legacy bridge — the engine is wrapped into an owned
+  // SingleRouter immediately and never retained raw.
   Cluster(sim::Engine& engine, const ClusterConfig& cfg);
   /// Partitioned mode: `router` (e.g. sim::ShardedEngine) assigns each node
   /// its own engine shard; the fabric posts deliveries across shards.

@@ -61,6 +61,8 @@ SimulationResult Simulation::run() {
     sharded_->run_until(sharded_->engine_of(0).now() + cfg_.horizon,
                         cfg_.parallel);
   } else {
+    // srclint-ok(PSL401): the run driver owns the classic-mode engine; this
+    // is the one place a single-engine run is advanced.
     engine_->run_until(engine_->now() + cfg_.horizon);
   }
   SimulationResult r;

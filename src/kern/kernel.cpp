@@ -6,6 +6,7 @@
 #include "check/transitions.hpp"
 #include "sim/choice.hpp"
 #include "util/assert.hpp"
+#include "util/hotpath.hpp"
 
 namespace pasched::kern {
 
@@ -91,7 +92,7 @@ void Kernel::set_state(Thread& t, ThreadState to) {
   t.state_ = to;
 }
 
-void Kernel::enqueue(Thread& t) {
+PASCHED_HOT void Kernel::enqueue(Thread& t) {
   PASCHED_ASSERT_MSG(t.running_on_ == kNoCpu,
                      "cannot enqueue a thread still occupying a CPU");
   set_state(t, ThreadState::Ready);
@@ -105,7 +106,7 @@ void Kernel::enqueue(Thread& t) {
     observer_->on_state(ctx_.now(), node_, t, ThreadState::Ready);
 }
 
-void Kernel::remove_from_queue(Thread& t) {
+PASCHED_HOT void Kernel::remove_from_queue(Thread& t) {
   auto& q = goes_to_global(t, tun_)
                 ? globalq_
                 : cpus_[static_cast<std::size_t>(t.home_cpu())].runq;
@@ -114,7 +115,7 @@ void Kernel::remove_from_queue(Thread& t) {
   q.erase(it);
 }
 
-Thread* Kernel::peek_best(CpuId cpu, bool allow_steal) const {
+PASCHED_HOT Thread* Kernel::peek_best(CpuId cpu, bool allow_steal) const {
   const Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   Thread* best = nullptr;
   auto consider = [&](Thread* t) {
@@ -138,7 +139,7 @@ Thread* Kernel::peek_best(CpuId cpu, bool allow_steal) const {
 // Dispatch / run / preempt
 // ---------------------------------------------------------------------------
 
-void Kernel::dispatch(CpuId cpu) {
+PASCHED_HOT void Kernel::dispatch(CpuId cpu) {
   Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   PASCHED_ASSERT(c.current == nullptr);
   Thread* t = peek_best(cpu, /*allow_steal=*/true);
@@ -164,7 +165,7 @@ void Kernel::dispatch(CpuId cpu) {
   continue_run(cpu, *t);
 }
 
-void Kernel::continue_run(CpuId cpu, Thread& t) {
+PASCHED_HOT void Kernel::continue_run(CpuId cpu, Thread& t) {
   if (t.residual_ > Duration::zero()) {
     arm_burst(cpu, t);
   } else if (t.spin_waiting_) {
@@ -174,7 +175,7 @@ void Kernel::continue_run(CpuId cpu, Thread& t) {
   }
 }
 
-void Kernel::advance_client(CpuId cpu, Thread& t) {
+PASCHED_HOT void Kernel::advance_client(CpuId cpu, Thread& t) {
   PASCHED_ASSERT(cpus_[static_cast<std::size_t>(cpu)].current == &t);
   const RunDecision d = t.client_->next(ctx_.now());
   switch (d.kind) {
@@ -203,7 +204,7 @@ void Kernel::advance_client(CpuId cpu, Thread& t) {
   }
 }
 
-void Kernel::arm_burst(CpuId cpu, Thread& t) {
+PASCHED_HOT void Kernel::arm_burst(CpuId cpu, Thread& t) {
   const Duration total = t.pending_switch_cost_ + t.residual_;
   t.pending_switch_cost_ = Duration::zero();
   t.burst_len_ = total;
@@ -213,7 +214,7 @@ void Kernel::arm_burst(CpuId cpu, Thread& t) {
       t.burst_deadline_, [this, cpu, tp] { on_burst_end(cpu, *tp); });
 }
 
-void Kernel::on_burst_end(CpuId cpu, Thread& t) {
+PASCHED_HOT void Kernel::on_burst_end(CpuId cpu, Thread& t) {
   PASCHED_ASSERT(cpus_[static_cast<std::size_t>(cpu)].current == &t);
   t.burst_event_ = sim::EventId{};
   charge(t, t.burst_len_);
@@ -222,7 +223,7 @@ void Kernel::on_burst_end(CpuId cpu, Thread& t) {
   advance_client(cpu, t);
 }
 
-void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
+PASCHED_HOT void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
   Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   Thread* t = c.current;
   PASCHED_ASSERT(t != nullptr);
@@ -252,7 +253,7 @@ void Kernel::take_off_cpu(CpuId cpu, bool charge_time) {
   c.idle_since = ctx_.now();
 }
 
-void Kernel::preempt(CpuId cpu) {
+PASCHED_HOT void Kernel::preempt(CpuId cpu) {
   Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   Thread* t = c.current;
   PASCHED_ASSERT(t != nullptr);
@@ -451,7 +452,7 @@ void Kernel::arm_tick(CpuId cpu) {
                       [this, cpu] { on_tick(cpu); });
 }
 
-void Kernel::on_tick(CpuId cpu) {
+PASCHED_HOT void Kernel::on_tick(CpuId cpu) {
   Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   ++acct_.ticks_taken;
   const Duration cost = tun_.effective_tick_cost();
@@ -516,7 +517,7 @@ void Kernel::decay_priorities() {
 // Accounting / queries
 // ---------------------------------------------------------------------------
 
-void Kernel::charge(Thread& t, Duration amount) {
+PASCHED_HOT void Kernel::charge(Thread& t, Duration amount) {
   PASCHED_ASSERT(amount >= Duration::zero());
   t.total_cpu_ += amount;
   t.recent_cpu_ += amount;

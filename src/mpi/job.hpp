@@ -135,6 +135,8 @@ class Job {
   SchedulerHook* hook_ = nullptr;
   trace::EventLog* elog_ = nullptr;
   std::vector<std::vector<SpanRec>> spans_;  // [rank], presized in ctor
+  // srclint-ok(PSL402): post-run lazily-rebuilt cache behind the atomic
+  // channels_dirty_ flag; rebuilt only after the shard workers have joined.
   mutable std::array<ChannelStats, kMaxChannels> channels_;
   mutable std::atomic<bool> channels_dirty_{false};
   std::unordered_map<std::uint64_t, int> hw_pending_;  // hub shard only

@@ -48,6 +48,7 @@ void check_config(const FabricConfig& cfg) {
 }
 }  // namespace
 
+// srclint-ok(PSL401): legacy bridge — wrapped into SingleRouter on entry.
 Fabric::Fabric(sim::Engine& engine, FabricConfig cfg, sim::Rng rng)
     : owned_router_(std::make_unique<sim::SingleRouter>(engine)),
       router_(owned_router_.get()),

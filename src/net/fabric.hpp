@@ -87,6 +87,8 @@ struct FabricStats {
 class Fabric {
  public:
   /// Classic single-engine mode (owns an internal SingleRouter).
+  // srclint-ok(PSL401): legacy bridge — the engine is wrapped into an owned
+  // SingleRouter immediately and never retained raw.
   Fabric(sim::Engine& engine, FabricConfig cfg, sim::Rng rng);
   /// Partitioned mode: deliveries cross shards via `router`. `nodes`
   /// presizes the per-source ports so concurrent sends never reallocate.

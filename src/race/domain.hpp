@@ -171,19 +171,19 @@ void assert_write_domain(Domain owner, const char* label, int id,
 #define PASCHED_ASSERT_DOMAIN(owner, label, id, what) \
   ::pasched::race::assert_write_domain((owner), (label), (id), (what))
 #else
-// Off: compiled out entirely; the arguments are still parsed so an invalid
-// expression cannot bit-rot unnoticed (same contract as PASCHED_CHECK).
-#define PASCHED_ASSERT_OWNED(owned, what)   \
-  do {                                      \
-    if (false) {                            \
-      (owned).on_access(what);              \
-    }                                       \
+// Off: compiled out entirely — the call sits inside a sizeof (unevaluated
+// operand), so the expansion is a compile-time constant with zero codegen,
+// while the arguments are still parsed and type-checked against the real
+// signature, so an invalid expression cannot bit-rot unnoticed (same
+// contract as PASCHED_CHECK).
+#define PASCHED_ASSERT_OWNED(owned, what)                       \
+  do {                                                          \
+    static_cast<void>(sizeof(((owned).on_access(what), 0)));    \
   } while (0)
-#define PASCHED_ASSERT_DOMAIN(owner, label, id, what)                   \
-  do {                                                                  \
-    if (false) {                                                        \
-      ::pasched::race::assert_write_domain((owner), (label), (id),      \
-                                           (what));                     \
-    }                                                                   \
+#define PASCHED_ASSERT_DOMAIN(owner, label, id, what)                     \
+  do {                                                                    \
+    static_cast<void>(sizeof((::pasched::race::assert_write_domain(       \
+                                  (owner), (label), (id), (what)),        \
+                              0)));                                       \
   } while (0)
 #endif  // PASCHED_VALIDATE_ENABLED

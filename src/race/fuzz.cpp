@@ -59,6 +59,9 @@ AuditRun run_audited(const core::SimulationConfig& cfg,
       // router. The callout body itself is inert — the *registration* is
       // the cross-shard mutation the auditor must flag.
       kern::Kernel& victim = sim.cluster().node(1).kernel();
+      // srclint-ok(PSL401): the planted fault must bypass the router — a
+      // routed post would be legal and the auditor would have nothing to
+      // catch.
       sh->engine_of(0).schedule_at(
           sh->engine_of(0).now() + opt.plant_at, [&victim] {
             victim.schedule_callout(0, victim.local_now(), [] {});

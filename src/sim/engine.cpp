@@ -5,12 +5,13 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "util/hotpath.hpp"
 #include "sim/random.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::sim {
 
-std::uint32_t Engine::acquire_slot() {
+PASCHED_HOT std::uint32_t Engine::acquire_slot() {
   if (!free_.empty()) {
     const std::uint32_t idx = free_.back();
     free_.pop_back();
@@ -22,7 +23,7 @@ std::uint32_t Engine::acquire_slot() {
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Engine::release_slot(std::uint32_t idx) noexcept {
+PASCHED_HOT void Engine::release_slot(std::uint32_t idx) noexcept {
   Slot& s = slots_[idx];
   s.fn.reset();
   ++s.gen;  // invalidate any outstanding EventIds / heap entries
@@ -31,7 +32,7 @@ void Engine::release_slot(std::uint32_t idx) noexcept {
   free_.push_back(idx);
 }
 
-EventId Engine::schedule_at(Time t, Callback fn) {
+PASCHED_HOT EventId Engine::schedule_at(Time t, Callback fn) {
   PASCHED_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
   const std::uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
@@ -43,7 +44,7 @@ EventId Engine::schedule_at(Time t, Callback fn) {
   return EventId{idx, s.gen};
 }
 
-void Engine::cancel(EventId id) {
+PASCHED_HOT void Engine::cancel(EventId id) {
   if (!id.valid() || id.slot >= slots_.size()) return;
   Slot& s = slots_[id.slot];
   if (s.gen != id.gen || !s.armed) return;  // already fired / cancelled
@@ -76,7 +77,7 @@ bool Engine::pending(EventId id) const noexcept {
   return s.gen == id.gen && s.armed;
 }
 
-void Engine::fire_item(const HeapItem& item) {
+PASCHED_HOT void Engine::fire_item(const HeapItem& item) {
   Slot& s = slots_[item.slot];
   PASCHED_CHECK_MSG(static_cast<bool>(s.fn),
                     "armed slot has no callback to fire");
@@ -93,7 +94,7 @@ void Engine::fire_item(const HeapItem& item) {
   fn();
 }
 
-bool Engine::fire_next() {
+PASCHED_HOT bool Engine::fire_next() {
   while (!heap_.empty()) {
     const HeapItem top = heap_.front();
     {
@@ -207,7 +208,7 @@ bool Engine::run_until(Time deadline) {
   return false;
 }
 
-void Engine::run_before(Time end) {
+PASCHED_HOT void Engine::run_before(Time end) {
   PASCHED_EXPECTS(end >= now_);
   while (!heap_.empty()) {
     const HeapItem& top = heap_.front();
@@ -239,7 +240,7 @@ void Engine::drain() {
   PASCHED_ASSERT(live_ == 0);
 }
 
-Time Engine::next_event_time() {
+PASCHED_HOT Time Engine::next_event_time() {
   while (!heap_.empty()) {
     const HeapItem& top = heap_.front();
     const Slot& s = slots_[top.slot];

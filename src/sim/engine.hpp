@@ -14,6 +14,7 @@
 
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
+#include "util/hotpath.hpp"
 
 namespace pasched::sim {
 
@@ -62,7 +63,7 @@ class Engine {
   /// Schedules `fn` at absolute time `t` (must be >= now()). Events with the
   /// same timestamp fire in scheduling order unless a TieBreak is installed.
   EventId schedule_at(Time t, Callback fn);
-  EventId schedule_after(Duration d, Callback fn) {
+  PASCHED_HOT EventId schedule_after(Duration d, Callback fn) {
     return schedule_at(now_ + d, std::move(fn));
   }
 
@@ -102,7 +103,7 @@ class Engine {
   }
 
   /// Fires exactly one event. Returns false if the queue is empty.
-  bool step() { return fire_next(); }
+  PASCHED_HOT bool step() { return fire_next(); }
 
   /// Timestamp of the next live event, or Time::max() if none. Prunes stale
   /// (cancelled) heap entries as a side effect; does not advance now().

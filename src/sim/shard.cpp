@@ -70,12 +70,19 @@ void ShardedEngine::request_wrapup(Engine::Callback fn) {
 
 void ShardedEngine::drain_inbox(int shard) {
   Inbox& in = *inboxes_[static_cast<std::size_t>(shard)];
-  std::vector<CrossNodeEvent> q;
+  std::vector<CrossNodeEvent>& q = in.scratch;
+  q.clear();
   {
     const std::scoped_lock lk(in.mu);
-    q.swap(in.q);
+    q.swap(in.q);  // the old scratch storage becomes the next fill buffer
   }
   if (q.empty()) return;
+  admit_sorted(shard, q);
+  q.clear();  // release the delivered callbacks now; keep the capacity
+}
+
+PASCHED_HOT void ShardedEngine::admit_sorted(int shard,
+                                             std::vector<CrossNodeEvent>& q) {
   // Canonical admission order: posts from different sources are merged by
   // (t, src, seq), so the destination engine's FIFO tie-break sees the same
   // sequence regardless of which worker drained which source first.

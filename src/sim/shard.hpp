@@ -23,6 +23,7 @@
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "util/hotpath.hpp"
 
 namespace pasched::sim {
 
@@ -145,10 +146,20 @@ class ShardedEngine final : public Router {
   struct Inbox {
     std::mutex mu;
     std::vector<CrossNodeEvent> q;
+    /// Reused drain buffer, touched only by the worker that owns this
+    /// shard's drain this round. Its capacity ping-pongs with q via swap,
+    /// so steady-state drains allocate nothing on either side.
+    std::vector<CrossNodeEvent> scratch;
   };
 
   void worker_loop(int worker, int nworkers, Time deadline);
+  /// Cold half of admission: takes the inbox lock, swaps the queue into
+  /// the shard's scratch buffer, and hands it to admit_sorted(). Runs once
+  /// per shard per window — the lock never sits on the per-event path.
   void drain_inbox(int shard);
+  /// Hot half of admission: canonical (t, src, seq) ordering plus per-event
+  /// delivery into the destination engine. Lock-free by construction.
+  PASCHED_HOT void admit_sorted(int shard, std::vector<CrossNodeEvent>& q);
   void plan_round(Time deadline) noexcept;
 
   std::vector<std::unique_ptr<Engine>> engines_;

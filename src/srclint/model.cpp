@@ -1,0 +1,124 @@
+#include "srclint/model.hpp"
+
+#include <algorithm>
+
+namespace pasched::srclint {
+
+namespace {
+
+[[nodiscard]] char close_of(const std::string& open) noexcept {
+  if (open == "(") return ')';
+  if (open == "[") return ']';
+  return '}';
+}
+
+}  // namespace
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c(1, close_of(o));
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Punct) continue;
+    if (toks[i].text == o) ++depth;
+    else if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+std::vector<HotFunction> find_marked_functions(const SourceFile& f,
+                                               const std::string& marker) {
+  std::vector<HotFunction> out;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].pp || t[i].kind != Tok::Identifier || t[i].text != marker)
+      continue;
+    HotFunction fn;
+    fn.line = t[i].line;
+    int paren = 0;
+    bool seen_params = false;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const Token& tok = t[j];
+      if (tok.kind == Tok::Punct) {
+        if (tok.text == "(") {
+          if (paren == 0 && !seen_params && !fn.name.empty())
+            seen_params = true;
+          ++paren;
+        } else if (tok.text == ")") {
+          --paren;
+        } else if (paren == 0 && tok.text == ";") {
+          break;  // declaration only — the definition binds elsewhere
+        } else if (paren == 0 && tok.text == "{") {
+          const std::size_t close = match_forward(t, j);
+          if (close < t.size()) {
+            fn.body_begin = j + 1;
+            fn.body_end = close;
+            out.push_back(fn);
+          }
+          break;
+        } else if (paren == 0 && tok.text == "}") {
+          break;  // fell out of the enclosing scope: marker was misplaced
+        }
+      } else if (tok.kind == Tok::Identifier && paren == 0 && !seen_params) {
+        fn.name = tok.text;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ClassBody> find_class_bodies(
+    const SourceFile& f, const std::vector<std::string>& names) {
+  std::vector<ClassBody> out;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].pp || t[i].kind != Tok::Identifier) continue;
+    if (t[i].text != "class" && t[i].text != "struct") continue;
+    if (i > 0 && t[i - 1].kind == Tok::Identifier && t[i - 1].text == "enum")
+      continue;  // enum class
+    const Token& nm = t[i + 1];
+    if (nm.kind != Tok::Identifier) continue;
+    if (std::find(names.begin(), names.end(), nm.text) == names.end())
+      continue;
+    // Find the body's '{', skipping the base-clause (template arguments in
+    // base names are angle-counted; ">>" closes two).
+    int paren = 0;
+    int angle = 0;
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      const Token& tok = t[j];
+      if (tok.kind != Tok::Punct) continue;
+      if (tok.text == "(") ++paren;
+      else if (tok.text == ")") --paren;
+      else if (tok.text == "<") ++angle;
+      else if (tok.text == ">") angle = std::max(0, angle - 1);
+      else if (tok.text == ">>") angle = std::max(0, angle - 2);
+      else if (paren == 0 && angle == 0 && tok.text == ";") {
+        break;  // forward declaration
+      } else if (paren == 0 && angle == 0 && tok.text == "{") {
+        const std::size_t close = match_forward(t, j);
+        if (close < t.size())
+          out.push_back(ClassBody{nm.text, nm.line, j + 1, close});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MacroCall> find_macro_calls(const SourceFile& f,
+                                        const std::vector<std::string>& names) {
+  std::vector<MacroCall> out;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].pp || t[i].kind != Tok::Identifier) continue;
+    if (std::find(names.begin(), names.end(), t[i].text) == names.end())
+      continue;
+    if (t[i + 1].kind != Tok::Punct || t[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(t, i + 1);
+    if (close >= t.size()) continue;
+    out.push_back(MacroCall{t[i].text, t[i].line, i + 2, close});
+  }
+  return out;
+}
+
+}  // namespace pasched::srclint

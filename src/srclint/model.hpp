@@ -1,0 +1,63 @@
+// Structural recovery over the token stream: the light syntax the PSL4xx
+// rules need — PASCHED_HOT-annotated function bodies, class bodies of named
+// shard-resident types, and the argument token ranges of PASCHED_CHECK-
+// family macro invocations. All extents are [begin, end) token indices into
+// SourceFile::tokens.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "srclint/source.hpp"
+
+namespace pasched::srclint {
+
+/// A function definition bound to a PASCHED_HOT marker.
+struct HotFunction {
+  std::string name;        // best-effort: last identifier before the ( list
+  int line = 0;            // line of the marker
+  std::size_t body_begin = 0;  // token index just after the opening {
+  std::size_t body_end = 0;    // token index of the matching }
+};
+
+/// A class/struct body of interest.
+struct ClassBody {
+  std::string name;
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// A macro invocation NAME(args...): the token range between the outer
+/// parentheses.
+struct MacroCall {
+  std::string name;
+  int line = 0;
+  std::size_t args_begin = 0;
+  std::size_t args_end = 0;
+};
+
+/// Token index of the brace/paren/bracket matching tokens[open]; returns
+/// tokens.size() when unbalanced. `open` must index a "(", "[" or "{".
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& toks,
+                                        std::size_t open);
+
+/// Every function definition whose declaration carries the `marker`
+/// identifier (e.g. "PASCHED_HOT"). Pure declarations (ending in ';' before
+/// any '{') are skipped. Preprocessor lines are ignored, so the macro's own
+/// #define never binds.
+[[nodiscard]] std::vector<HotFunction> find_marked_functions(
+    const SourceFile& f, const std::string& marker);
+
+/// Bodies of class/struct definitions whose name is in `names`. Forward
+/// declarations are skipped.
+[[nodiscard]] std::vector<ClassBody> find_class_bodies(
+    const SourceFile& f, const std::vector<std::string>& names);
+
+/// Invocations of the given function-like macros (identifier immediately
+/// followed by "("), outside preprocessor lines.
+[[nodiscard]] std::vector<MacroCall> find_macro_calls(
+    const SourceFile& f, const std::vector<std::string>& names);
+
+}  // namespace pasched::srclint

@@ -1,0 +1,99 @@
+#include "srclint/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "srclint/compiledb.hpp"
+
+namespace pasched::srclint {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SrclintReport::str() const {
+  std::ostringstream os;
+  for (const analysis::Diagnostic& d : findings) os << d.str() << "\n";
+  os << "pasched-srclint: " << files_scanned << " files (" << origin << "), "
+     << stats.hot_functions << " hot functions, " << stats.macro_calls
+     << " vanishing-check calls, " << stats.suppressions_honored
+     << " suppressions honored, " << findings.size() << " finding"
+     << (findings.size() == 1 ? "" : "s") << "\n";
+  return os.str();
+}
+
+std::string SrclintReport::json() const {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"pasched-srclint\",\n"
+     << "  \"files_scanned\": " << files_scanned << ",\n"
+     << "  \"origin\": \"" << json_escape(origin) << "\",\n"
+     << "  \"hot_functions\": " << stats.hot_functions << ",\n"
+     << "  \"vanishing_check_calls\": " << stats.macro_calls << ",\n"
+     << "  \"suppressions_honored\": " << stats.suppressions_honored << ",\n"
+     << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const analysis::Diagnostic& d = findings[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
+       << "\", \"severity\": \"" << analysis::to_string(d.severity)
+       << "\", \"subject\": \"" << json_escape(d.subject)
+       << "\", \"message\": \"" << json_escape(d.message)
+       << "\", \"fix_hint\": \"" << json_escape(d.fix_hint) << "\"}";
+  }
+  os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+SrclintReport run_files(const SrclintOptions& opts,
+                        const std::vector<std::string>& rels) {
+  SrclintReport rep;
+  const std::filesystem::path root(opts.root);
+  for (const std::string& rel : rels) {
+    const SourceFile f = lex_file((root / rel).string(), rel);
+    std::vector<analysis::Diagnostic> ds =
+        run_rules(f, opts.rules, &rep.stats);
+    rep.findings.insert(rep.findings.end(),
+                        std::make_move_iterator(ds.begin()),
+                        std::make_move_iterator(ds.end()));
+    ++rep.files_scanned;
+  }
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const analysis::Diagnostic& a,
+                      const analysis::Diagnostic& b) {
+                     return a.subject != b.subject ? a.subject < b.subject
+                                                  : a.rule < b.rule;
+                   });
+  return rep;
+}
+
+SrclintReport run_tree(const SrclintOptions& opts) {
+  const FileSet fset = discover_files(opts.root, opts.compile_db);
+  SrclintReport rep = run_files(opts, fset.rel_paths);
+  rep.origin = fset.origin;
+  return rep;
+}
+
+}  // namespace pasched::srclint

@@ -1,0 +1,46 @@
+// Tree-level driver: discovery → lex → rules → ordered report. The heavy
+// lifting lives in source/model/rules; this layer only sequences them and
+// renders text/JSON, so the tool and the tests share one code path.
+//
+// Frontend seam: SourceFile is the only contract between discovery and the
+// rules. Today it is produced by the built-in portable lexer (lex_file);
+// a clang LibTooling frontend can replace that producer without touching a
+// rule, which is the plan once the toolchain ships clang dev headers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "srclint/rules.hpp"
+
+namespace pasched::srclint {
+
+struct SrclintOptions {
+  std::string root = ".";       // tree to scan (repo root or fixture root)
+  std::string compile_db;       // optional compile_commands.json
+  RuleConfig rules;
+};
+
+struct SrclintReport {
+  std::vector<analysis::Diagnostic> findings;  // sorted by (subject, rule)
+  RuleStats stats;
+  std::size_t files_scanned = 0;
+  std::string origin;  // discovery origin, see compiledb.hpp
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  /// Human-readable report (one finding per line + a summary footer).
+  [[nodiscard]] std::string str() const;
+  /// Machine-readable report for the CI artifact.
+  [[nodiscard]] std::string json() const;
+};
+
+/// Scans every discovered file under opts.root.
+[[nodiscard]] SrclintReport run_tree(const SrclintOptions& opts);
+
+/// Scans an explicit set of root-relative paths (CLI positional args,
+/// fixture tests).
+[[nodiscard]] SrclintReport run_files(const SrclintOptions& opts,
+                                      const std::vector<std::string>& rels);
+
+}  // namespace pasched::srclint

@@ -70,6 +70,9 @@ struct Event {
 /// ordered by (t, node, per-node sequence); the merge order is a pure
 /// function of the per-node streams, so sequential and parallel runs of the
 /// same scenario produce byte-identical logs.
+// srclint-ok(PSL402): uses the container-form ownership discipline — every
+// bucket append passes PASCHED_ASSERT_DOMAIN (race/domain.hpp), which
+// exists precisely for per-node buffers with no Owned member per element.
 class EventLog {
  public:
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
@@ -120,6 +123,8 @@ class EventLog {
 
  private:
   std::vector<std::vector<Event>> buckets_;  // [node + 1]; 0 = nodeless
+  // srclint-ok(PSL402): post-run lazily-rebuilt cache behind the atomic
+  // dirty_ flag; events() documents it is unsafe while shards record.
   mutable std::vector<Event> merged_;
   mutable std::atomic<bool> dirty_{false};
   bool enabled_ = true;

@@ -33,6 +33,9 @@ struct TraceCounts {
   std::uint64_t ipis = 0;
 };
 
+// srclint-ok(PSL402): uses the container-form ownership discipline — every
+// per-node mutation passes PASCHED_ASSERT_DOMAIN (race/domain.hpp), which
+// exists precisely for per-node buffers with no Owned member per element.
 class Tracer final : public kern::SchedObserver {
  public:
   /// `node_filter` restricts recording to one node (-1 = all nodes).
@@ -102,6 +105,8 @@ class Tracer final : public kern::SchedObserver {
   std::vector<std::vector<Open>> open_;  // [node][cpu]
   std::vector<const kern::Kernel*> kernels_;  // [node], for queue depth
   std::vector<std::unique_ptr<PerNode>> per_node_;  // [node]
+  // srclint-ok(PSL402): post-run lazily-rebuilt cache behind the atomic
+  // dirty_ flag; rebuilt only after the shard workers have joined.
   mutable std::vector<Interval> merged_;
   mutable std::atomic<bool> dirty_{false};
   EventLog* elog_ = nullptr;

@@ -1,0 +1,25 @@
+// PASCHED_HOT: the hot-path contract marker. A function annotated with it
+// promises the event hot path's discipline — no heap allocation, no
+// std::mutex (or any blocking) acquisition, no throw, no blocking I/O in its
+// body. The promise is enforced *statically* by pasched-srclint rule PSL403
+// (tools/pasched-srclint), which binds the marker token to the function body
+// and scans it; at runtime the macro costs nothing (it only forwards the
+// compiler's `hot` attribute when available, which nudges block placement).
+//
+// Annotate the per-event functions (fired once per event or more), not the
+// per-window ones: a window barrier or an inbox-mutex swap is allowed to
+// block, so it must stay *outside* a PASCHED_HOT function and call into one.
+//
+// Scope of the static guarantee (see DESIGN.md §5.7): PSL403 catches the
+// explicit tokens — `new` (non-placement), malloc/calloc/realloc,
+// make_unique/make_shared, mutex/lock types, `throw`, sleeps and waits,
+// stdio/iostream writes. Amortized growth inside an already-owned
+// std::vector (push_back under reserved capacity) is deliberately out of
+// scope: killing even that is ROADMAP open item 2's arena/slab overhaul.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PASCHED_HOT __attribute__((hot))
+#else
+#define PASCHED_HOT
+#endif

@@ -1,0 +1,13 @@
+// Compile-PASS companion to check_off_void_arg.cxx: guards the harness
+// itself. If include paths or flags break, this file fails too and the
+// WILL_FAIL test above can no longer pass vacuously.
+#undef PASCHED_VALIDATE_ENABLED
+#define PASCHED_VALIDATE_ENABLED 0
+#include "check/check.hpp"
+
+bool armed();
+
+void fine(int x) {
+  PASCHED_CHECK(x >= 0);
+  PASCHED_CHECK_MSG(armed(), "message is parsed but never built");
+}

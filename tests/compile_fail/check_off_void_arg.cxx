@@ -1,0 +1,17 @@
+// Compile-FAIL fixture (ctest WILL_FAIL inverts the compiler's exit code):
+// a side-effect-only void expression inside PASCHED_CHECK is exactly the
+// validated/release divergence PSL404 exists to prevent. The OFF-mode
+// expansion funnels the argument through static_cast<bool> inside an
+// unevaluated sizeof, so this must be rejected at compile time — if this
+// file ever compiles, the compile-time capture regressed.
+// (.cxx extension: this file is driven by -fsyntax-only, never built or
+// swept by run-clang-tidy.)
+#undef PASCHED_VALIDATE_ENABLED
+#define PASCHED_VALIDATE_ENABLED 0
+#include "check/check.hpp"
+
+void poke();
+
+void hazard() {
+  PASCHED_CHECK(poke());  // void argument: must not convert to bool
+}

@@ -1,0 +1,17 @@
+// Planted PSL406 violations: ad-hoc thread creation outside the
+// ShardedEngine worker pool, plus a detached thread.
+namespace pasched::daemons {
+
+void spawn(Worker& w) {
+  // FIRE: raw std::thread outside the worker pool.
+  std::thread t([&w] { w.run(); });
+  // FIRE: detached — nothing joins it, it outlives the barrier protocol.
+  t.detach();
+}
+
+void spawn_posix(Worker& w) {
+  // FIRE: raw pthread.
+  pthread_create(&w.tid, nullptr, run_trampoline, &w);
+}
+
+}  // namespace pasched::daemons

@@ -1,0 +1,15 @@
+// PSL406 negative fixture: the blessed shapes.
+namespace pasched::daemons {
+
+// Silent: std::thread::id is a query type, not a thread creation.
+std::thread::id current_worker();
+
+// Silent: concurrency-free scheduling through the shard's context.
+void enqueue(sim::EventContext& ctx, sim::Duration d) {
+  ctx.schedule_after(d, [] {});
+}
+
+// Silent: hardware_concurrency is a query, not a creation.
+unsigned parallelism_hint() { return std::thread::hardware_concurrency(); }
+
+}  // namespace pasched::daemons

@@ -1,0 +1,20 @@
+// Planted PSL401 violations: kernel-model code reaching for the raw engine.
+// Fixtures are lexed, never compiled (.cxx keeps them out of every build
+// and clang-tidy sweep); the mirrored src/kern/ path puts them inside the
+// rule's enforcement scope.
+namespace pasched::kern {
+
+class Scheduler {
+ public:
+  // FIRE: binds a mutable reference to the raw engine.
+  void bind(sim::Engine& engine) { engine_ = &engine; }
+
+  // FIRE: posts through the engine instead of the EventContext seam.
+  void arm(Time t) { engine_->schedule_at(t, [] {}); }
+
+ private:
+  // FIRE: retains a mutable engine pointer.
+  sim::Engine* engine_ = nullptr;
+};
+
+}  // namespace pasched::kern

@@ -1,0 +1,21 @@
+// PSL401 negative fixture: the blessed patterns must stay silent.
+namespace pasched::kern {
+
+class Scheduler {
+ public:
+  // Silent: const observation of the engine is not a seam violation.
+  void observe(const sim::Engine& engine) { obs_ = &engine; }
+
+  // Silent: posting through the EventContext seam.
+  void arm(sim::EventContext& ctx, Duration d) {
+    ctx.schedule_after(d, [] {});
+  }
+
+  // Silent: non-engine receivers may expose the same mutator names.
+  void drive(Clock& clock) { clock.step(); }
+
+ private:
+  const sim::Engine* obs_ = nullptr;
+};
+
+}  // namespace pasched::kern

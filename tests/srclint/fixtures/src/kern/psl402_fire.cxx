@@ -1,0 +1,18 @@
+// Planted PSL402 violations: a shard-resident type with no ownership tag
+// and a mutable field that is neither atomic nor ownership-guarded.
+namespace pasched::kern {
+
+// FIRE (class): Kernel carries no race::Owned member.
+class Kernel {
+ public:
+  int ticks() const {
+    ++ticks_;  // writable through const access from any worker
+    return ticks_;
+  }
+
+ private:
+  // FIRE (field): mutable, non-atomic, unguarded.
+  mutable int ticks_ = 0;
+};
+
+}  // namespace pasched::kern

@@ -1,0 +1,19 @@
+// PSL402 negative fixture: the annotated shard-resident shape.
+namespace pasched::kern {
+
+class Kernel {
+ public:
+  void start() { PASCHED_ASSERT_OWNED(owned_, "start"); }
+  int ticks() const { return ticks_.load(); }
+
+ private:
+  race::Owned owned_;  // ownership tag: bound to the shard at construction
+  mutable std::atomic<int> ticks_{0};  // mutable but atomic: allowed
+};
+
+// Silent: not in the shard-resident name set at all.
+struct TickStats {
+  mutable int cached = 0;
+};
+
+}  // namespace pasched::kern

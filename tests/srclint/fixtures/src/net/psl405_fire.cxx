@@ -1,0 +1,18 @@
+// Planted PSL405 violations: nondeterminism sources inside the
+// deterministic core (mirrored src/net/ path puts this in scope).
+namespace pasched::net {
+
+// FIRE: libc randomness — unseeded, process-global.
+int jitter() { return std::rand() % 5; }
+
+// FIRE: wall-clock time leaks host scheduling into the trace.
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// FIRE: unordered-container iteration order is implementation-defined.
+void collect(std::unordered_map<int, long>& inflight, std::vector<long>& out) {
+  for (const auto& kv : inflight) out.push_back(kv.second);
+}
+
+}  // namespace pasched::net

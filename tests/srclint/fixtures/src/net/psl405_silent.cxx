@@ -1,0 +1,22 @@
+// PSL405 negative fixture: the deterministic counterparts.
+namespace pasched::net {
+
+// Silent: randomness flows from the seeded engine Rng.
+int jitter(sim::Rng& rng) { return static_cast<int>(rng.next_u64() % 5); }
+
+// Silent: time flows from the engine clock.
+sim::Time stamp(const sim::EventContext& ctx) { return ctx.now(); }
+
+// Silent: unordered lookup is fine; only iteration leaks bucket order.
+long peek(const std::unordered_map<int, long>& inflight, int key) {
+  const auto it = inflight.find(key);
+  return it == inflight.end() ? 0 : it->second;
+}
+
+// Silent: iterating a deterministically ordered copy.
+void collect(const std::unordered_map<int, long>& inflight,
+             const std::vector<int>& sorted_keys, std::vector<long>& out) {
+  for (const int k : sorted_keys) out.push_back(inflight.at(k));
+}
+
+}  // namespace pasched::net

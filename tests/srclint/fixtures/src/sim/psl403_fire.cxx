@@ -1,0 +1,21 @@
+// Planted PSL403 violations: a PASCHED_HOT function detouring through the
+// allocator, a lock, an exception, a blocking wait, and stdio.
+namespace pasched::sim {
+
+PASCHED_HOT void fire_path(Queue& q) {
+  // FIRE: heap allocation on the per-event path.
+  Event* e = new Event();
+  // FIRE: lock declared on the per-event path.
+  std::mutex mu;
+  // FIRE: explicit lock acquisition.
+  q.mu.lock();
+  // FIRE: throw on the hot path.
+  if (!q.ok()) throw QueueError{};
+  // FIRE: blocking wait.
+  q.cv.wait_for(q.lk, timeout());
+  // FIRE: I/O on the hot path.
+  std::printf("fired %p\n", static_cast<void*>(e));
+  q.push(e);
+}
+
+}  // namespace pasched::sim

@@ -1,0 +1,20 @@
+// PSL403 negative fixture: straight-line hot path plus an unannotated cold
+// path that may do anything.
+namespace pasched::sim {
+
+PASCHED_HOT void fire_path(Queue& q, Event* slab) {
+  // Silent: placement new reuses preallocated storage — no heap traffic.
+  Event* e = ::new (static_cast<void*>(slab)) Event();
+  q.push(e);
+}
+
+// Declaration only: the marker binds at the definition, never here.
+PASCHED_HOT void drain_path(Queue& q);
+
+void cold_path(Queue& q) {
+  // Silent: not PASCHED_HOT — per-window code locks and allocates freely.
+  const std::lock_guard<std::mutex> lk(q.mu);
+  q.push(new Event());
+}
+
+}  // namespace pasched::sim

@@ -1,0 +1,15 @@
+// Planted PSL404 violations: side effects inside vanishing-check arguments.
+// Under -DPASCHED_VALIDATE=OFF these expressions never run, so the
+// validated and release builds diverge.
+namespace pasched::sim {
+
+void audit(State& s) {
+  // FIRE: increment inside the checked condition.
+  PASCHED_CHECK(++s.count > 0);
+  // FIRE: compound assignment inside the checked condition.
+  PASCHED_CHECK_MSG(s.total += s.step, "accumulates while observing");
+  // FIRE: assignment inside an ownership assert's arguments.
+  PASCHED_ASSERT_DOMAIN(s.owner = 0, "fixture", 0, "write");
+}
+
+}  // namespace pasched::sim

@@ -1,0 +1,15 @@
+// PSL404 negative fixture: pure observations, a lambda capture-default
+// (the one legal '=' shape), and one honored suppression.
+namespace pasched::sim {
+
+void audit(const State& s, int probe) {
+  // Silent: pure comparisons.
+  PASCHED_CHECK(s.count >= 0);
+  PASCHED_CHECK_MSG(s.total == s.count * s.step, "pure observation");
+  // Silent: [=] is a capture default, not an assignment.
+  PASCHED_CHECK([=] { return probe >= 0; }());
+  // srclint-ok(PSL404): fixture exercises an honored suppression.
+  PASCHED_CHECK(++probe > 0);
+}
+
+}  // namespace pasched::sim

@@ -5,6 +5,7 @@
 #undef PASCHED_VALIDATE_ENABLED
 #define PASCHED_VALIDATE_ENABLED 0
 #include "check/check.hpp"
+#include "race/domain.hpp"
 
 #include <gtest/gtest.h>
 
@@ -17,6 +18,7 @@ TEST(CheckMacrosOff, FailingCheckIsANoOp) {
 
 TEST(CheckMacrosOff, ConditionIsNotEvaluated) {
   int evals = 0;
+  // srclint-ok(PSL404): this test exists to pin the non-evaluation.
   PASCHED_CHECK(++evals > 0);
   EXPECT_EQ(evals, 0);
 }
@@ -29,6 +31,33 @@ TEST(CheckMacrosOff, MessageIsNotBuilt) {
   };
   PASCHED_CHECK_MSG(false, msg());
   EXPECT_EQ(msg_builds, 0);
+}
+
+TEST(CheckMacrosOff, OwnershipAssertsAreUnevaluated) {
+  // The ownership asserts share PASCHED_CHECK's off-mode contract: the
+  // whole call sits in an unevaluated sizeof, so argument expressions run
+  // zero times — while staying parsed and type-checked against the real
+  // on_access/assert_write_domain signatures.
+  static pasched::race::Owned owned;
+  int calls = 0;
+  auto pick = [&]() -> const pasched::race::Owned& {
+    ++calls;
+    return owned;
+  };
+  // srclint-ok(PSL404): this test exists to pin the non-evaluation.
+  PASCHED_ASSERT_OWNED(pick(), "write");
+  // srclint-ok(PSL404): this test exists to pin the non-evaluation.
+  PASCHED_ASSERT_DOMAIN((++calls, 0), "label", 0, "write");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckMacrosOff, OffExpansionIsAConstantExpression) {
+  // Zero codegen at every optimization level: the expansion must be usable
+  // where only a compile-time constant could fold away entirely.
+  int probes = 0;
+  PASCHED_CHECK(++probes > 0);        // srclint-ok(PSL404): pins the contract
+  PASCHED_CHECK_MSG(--probes < 0, "n/a");  // srclint-ok(PSL404): same
+  EXPECT_EQ(probes, 0);
 }
 
 TEST(CheckMacrosOff, AlwaysVariantStillFires) {

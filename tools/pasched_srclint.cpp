@@ -1,0 +1,145 @@
+// pasched-srclint: source-level architecture & hot-path lint for this
+// repository (PSL401-406).
+//
+// Where pasched-race and pasched-scale audit *executions*, srclint rejects
+// the source patterns that make those audits fail before a run exists:
+//
+//   PSL401  raw sim::Engine access outside the Router/EventContext seam
+//   PSL402  shard-resident type / mutable field without ownership discipline
+//   PSL403  allocation, locking, throw, blocking, or I/O inside PASCHED_HOT
+//   PSL404  side effects inside vanishing PASCHED_CHECK/ASSERT arguments
+//   PSL405  nondeterminism sources in the deterministic core (sim/kern/net/mpi)
+//   PSL406  thread creation outside the ShardedEngine worker pool
+//
+//   ./pasched-srclint [--root=DIR] [--compile-db=FILE] [--only=PSL40x[,..]]
+//       [--report=FILE] [--json=FILE] [--list-rules] [files...]
+//   ./pasched-srclint --plant [--fixtures=DIR]
+//
+// Scans the tree under --root (default: the current directory), preferring
+// the translation units listed in --compile-db (compile_commands.json,
+// auto-detected at <root>/build/compile_commands.json) augmented with
+// headers. Positional arguments restrict the scan to those root-relative
+// files. --plant scans the planted-violation fixture corpus instead
+// (default <root>/tests/srclint/fixtures) and is expected to exit 1 — CI
+// asserts both directions of the gate.
+//
+// Findings are silenced per line with `// srclint-ok(PSLnnn): reason`;
+// honored suppressions are counted in the report so they stay auditable.
+//
+// Exit status: 0 = no findings, 1 = ERROR findings, 2 = internal model
+// violation, 64 = bad usage.
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "check/check.hpp"
+#include "srclint/runner.hpp"
+#include "util/flags.hpp"
+
+using namespace pasched;
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::vector<std::string> typos = flags.unknown(
+      {"root", "compile-db", "only", "report", "json", "list-rules", "plant",
+       "fixtures"});
+  if (!typos.empty()) {
+    std::cerr << "pasched-srclint: unknown flag(s):";
+    for (const std::string& t : typos) std::cerr << " --" << t;
+    std::cerr << "\nusage: pasched-srclint [--root=DIR] [--compile-db=FILE]"
+                 " [--only=PSL40x[,...]] [--report=FILE] [--json=FILE]"
+                 " [--list-rules] [--plant [--fixtures=DIR]] [files...]\n";
+    return 64;
+  }
+  if (flags.get_bool("list-rules", false)) {
+    for (const analysis::RuleInfo& r : analysis::all_rules()) {
+      const std::string id(r.id);
+      if (id.size() == 6 && id.compare(0, 4, "PSL4") == 0)
+        std::cout << id << "  " << analysis::to_string(r.severity)
+                  << "\n    invariant: " << r.invariant
+                  << "\n    paper:     " << r.paper_ref << "\n";
+    }
+    return 0;
+  }
+
+  srclint::SrclintOptions opts;
+  opts.root = flags.get("root", ".");
+  const bool plant = flags.get_bool("plant", false);
+  if (plant) {
+    opts.root = flags.get(
+        "fixtures",
+        (std::filesystem::path(opts.root) / "tests/srclint/fixtures")
+            .string());
+    if (!std::filesystem::is_directory(opts.root)) {
+      std::cerr << "pasched-srclint: fixture corpus not found at " << opts.root
+                << "\n";
+      return 64;
+    }
+  } else {
+    opts.compile_db = flags.get("compile-db", "");
+    if (opts.compile_db.empty()) {
+      const std::filesystem::path guess =
+          std::filesystem::path(opts.root) / "build/compile_commands.json";
+      if (std::filesystem::exists(guess)) opts.compile_db = guess.string();
+    }
+  }
+  opts.rules.only = split_commas(flags.get("only", ""));
+  for (const std::string& id : opts.rules.only) {
+    if (analysis::find_rule(id) == nullptr) {
+      std::cerr << "pasched-srclint: unknown rule " << id << "\n";
+      return 64;
+    }
+  }
+
+  srclint::SrclintReport rep;
+  try {
+    if (!flags.positional().empty())
+      rep = srclint::run_files(opts, flags.positional());
+    else
+      rep = srclint::run_tree(opts);
+  } catch (const check::CheckError& e) {
+    std::cerr << "pasched-srclint: model invariant violated: " << e.what()
+              << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "pasched-srclint: " << e.what() << "\n";
+    return 64;
+  }
+
+  std::cout << rep.str();
+  const std::string report_file = flags.get("report", "");
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << rep.str();
+    std::cout << "report written to " << report_file << "\n";
+  }
+  const std::string json_file = flags.get("json", "");
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    out << rep.json();
+    std::cout << "json written to " << json_file << "\n";
+  }
+  if (rep.clean()) {
+    std::cout << "pasched-srclint: PASS\n";
+    return 0;
+  }
+  return analysis::any_errors(rep.findings) ? 1 : 0;
+}

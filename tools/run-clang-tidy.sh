@@ -53,7 +53,8 @@ mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
 # make it a hard failure instead.
 required_dirs=(src/analysis src/apps src/check src/cluster src/core \
                src/daemons src/kern src/mc src/mpi src/net src/race \
-               src/scale src/sim src/trace src/util tools tests bench)
+               src/scale src/sim src/srclint src/trace src/util tools tests \
+               bench)
 for dir in "${required_dirs[@]}"; do
   if ! printf '%s\n' "${sources[@]}" | grep -q "^${repo_root}/${dir}/"; then
     echo "run-clang-tidy.sh: FAIL — no sources found under ${dir}/" >&2
