@@ -7,10 +7,12 @@
 #include "analysis/lint.hpp"
 #include "apps/aggregate_trace.hpp"
 #include "apps/channels.hpp"
+#include "contend/ledger.hpp"
 #include "mpi/collectives.hpp"
 #include "race/monitor.hpp"
 #include "scale/monitor.hpp"
 #include "sim/shard.hpp"
+#include "util/seam.hpp"
 #include "util/stats.hpp"
 
 namespace bench {
@@ -80,7 +82,15 @@ RunResult run_aggregate(const RunSpec& spec) {
         *sh);
     sh->set_monitor(profiler.get());
   }
+  std::unique_ptr<contend::Ledger> ledger;
+  if (spec.ledger) {
+    if (sim.sharded() == nullptr)
+      throw std::logic_error("RunSpec::ledger requires parallel >= 1");
+    ledger = std::make_unique<contend::Ledger>();
+    util::install_seam_observer(ledger.get());
+  }
   const auto sres = sim.run();
+  if (ledger) util::install_seam_observer(nullptr);
   if (monitor) race::install_sink(nullptr);
   if (profiler) profiler->finalize();
 
@@ -96,6 +106,22 @@ RunResult run_aggregate(const RunSpec& spec) {
     const scale::SpeedupModel model;
     r.predicted_max_speedup = model.predicted_speedup(profiler->windows(), 8);
     r.lookahead_violations = profiler->violations();
+  }
+  if (ledger) {
+#if PASCHED_VALIDATE_ENABLED
+    r.ledger_enabled = true;
+#endif
+    const contend::LedgerReport lrep = ledger->report();
+    r.barrier_wait_share = lrep.barrier_wait_share;
+    for (const contend::SiteSummary& s : lrep.sites) {
+      if (r.top_wait_sites.size() == 3) break;
+      LedgerSiteRow row;
+      row.site = s.name;
+      row.acquires = s.acquires;
+      row.wait_ms = static_cast<double>(s.wait_ns) / 1e6;
+      row.wait_share = s.wait_share;
+      r.top_wait_sites.push_back(std::move(row));
+    }
   }
   r.recorded = ch.recorded_us;
   if (!r.recorded.empty()) {

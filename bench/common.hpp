@@ -52,6 +52,20 @@ struct RunSpec {
   /// micro_shard runs one profiled pass to predict the speedup ceiling it
   /// prints next to the measured speedup.
   bool profile_scale = false;
+  /// Arms the pasched-contend contention ledger on the engine's seam
+  /// mutexes/barrier (requires parallel >= 1). Uses the process-global seam
+  /// observer, not the shard-monitor slot, so it composes with the two
+  /// monitors above. Only measures under -DPASCHED_VALIDATE=ON — release
+  /// seams never notify (RunResult::ledger_enabled records which).
+  bool ledger = false;
+};
+
+/// One row of the contention ledger's ranking (see contend::SiteSummary).
+struct LedgerSiteRow {
+  std::string site;
+  std::uint64_t acquires = 0;
+  double wait_ms = 0;
+  double wait_share = 0;  // of total recorded wait across all sites
 };
 
 struct RunResult {
@@ -82,6 +96,12 @@ struct RunResult {
   /// (must be 0 — a nonzero count means the certificate is unsound).
   double predicted_max_speedup = 0;
   std::uint64_t lookahead_violations = 0;
+  /// Filled when RunSpec::ledger was set: whether the build's seams are
+  /// instrumented at all, the barrier's share of all recorded seam wait,
+  /// and the top serialization sites ranked by wait (at most 3).
+  bool ledger_enabled = false;
+  double barrier_wait_share = 0;
+  std::vector<LedgerSiteRow> top_wait_sites;
   /// Per-call durations (us) observed by the recorded rank.
   std::vector<double> recorded;
 };

@@ -136,6 +136,17 @@ int main(int argc, char** argv) {
   const bench::RunResult profiled = bench::run_aggregate(profile_spec);
   const double predicted = profiled.predicted_max_speedup;
 
+  // Separate contention-ledger pass on 8 workers (pasched-contend's runtime
+  // half): ranks the engine's serialization sites by recorded seam wait.
+  // Also kept out of the timed modes — the observer callbacks cost time on
+  // exactly the paths being measured. Under -DPASCHED_VALIDATE=OFF the
+  // seams never notify and the ranking is empty (ledger_enabled records
+  // which, so the JSON stays honest).
+  bench::RunSpec ledger_spec = spec;
+  ledger_spec.parallel = 8;
+  ledger_spec.ledger = true;
+  const bench::RunResult ledgered = bench::run_aggregate(ledger_spec);
+
   std::cout << "\nspeedup parallel8 vs legacy: " << speedup8 << "x (on " << hw
             << " hardware threads"
             << (speedup8_valid ? "" : "; OVERSUBSCRIBED, not meaningful")
@@ -145,7 +156,18 @@ int main(int argc, char** argv) {
             << " events (" << profiled.lookahead_violations
             << " lookahead violations)\n"
             << "race-audit overhead vs parallel4: " << audit_overhead
-            << "x wall (" << audited.audit_violations << " violations)\n"
+            << "x wall (" << audited.audit_violations << " violations)\n";
+  if (ledgered.ledger_enabled) {
+    std::cout << "contention ledger (parallel8): barrier wait share "
+              << ledgered.barrier_wait_share << ", top sites:";
+    for (const bench::LedgerSiteRow& s : ledgered.top_wait_sites)
+      std::cout << " " << s.site << "(" << s.wait_share << ")";
+    std::cout << "\n";
+  } else {
+    std::cout << "contention ledger: unavailable (seams uninstrumented "
+                 "under -DPASCHED_VALIDATE=OFF)\n";
+  }
+  std::cout
             << "validate (ownership annotations compiled in): "
 #if PASCHED_VALIDATE_ENABLED
             << "on\n";
@@ -182,7 +204,19 @@ int main(int argc, char** argv) {
      << ",\n  \"speedup_valid\": " << (speedup8_valid ? "true" : "false")
      << ",\n  \"predicted_max_speedup\": " << predicted
      << ",\n  \"lookahead_violations\": " << profiled.lookahead_violations
-     << ",\n  \"audit_overhead_vs_parallel4\": " << audit_overhead << "\n}\n";
+     << ",\n  \"audit_overhead_vs_parallel4\": " << audit_overhead
+     << ",\n  \"ledger_enabled\": "
+     << (ledgered.ledger_enabled ? "true" : "false")
+     << ",\n  \"barrier_wait_share\": " << ledgered.barrier_wait_share
+     << ",\n  \"top_wait_sites\": [\n";
+  for (std::size_t i = 0; i < ledgered.top_wait_sites.size(); ++i) {
+    const bench::LedgerSiteRow& s = ledgered.top_wait_sites[i];
+    js << "    {\"site\": \"" << s.site << "\", \"acquires\": " << s.acquires
+       << ", \"wait_ms\": " << s.wait_ms
+       << ", \"wait_share\": " << s.wait_share << "}"
+       << (i + 1 < ledgered.top_wait_sites.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
   std::cout << "wrote BENCH_shard.json\n";
 
   // Cross-mode sanity: the simulated physics must not depend on the mode.

@@ -1,6 +1,7 @@
 #include "analysis/diagnostic.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace pasched::analysis {
@@ -178,6 +179,41 @@ const std::vector<RuleInfo>& all_rules() {
        "pool: ad-hoc threads bypass domain scoping and the window barrier "
        "protocol",
        "§3.2.1 (parallelism belongs to the engine, not to callers)"},
+      // Contention rules (PSL5xx): emitted by the pasched-contend static
+      // lock-order/serialization analyzer (src/contend/) and its runtime
+      // contention ledger — the work-list generator for the ROADMAP item-1
+      // (PARSIR-style window/ring) perf rework.
+      {"PSL501", Severity::Error,
+       "the cross-TU lock-order graph must stay acyclic: two code paths "
+       "acquiring the same mutexes in opposite order can deadlock the "
+       "shard worker pool",
+       "§3.2.1 (a stuck worker stalls every window barrier behind it)"},
+      {"PSL502", Severity::Error,
+       "no lock may be held across a blocking seam (std::barrier "
+       "arrive_and_wait, condition-variable wait, inbox drain): the holder "
+       "parks with the lock taken and serializes every worker that needs it",
+       "§3.1.1 (synchronization cost, not work, bounds the window rate)"},
+      {"PSL503", Severity::Warning,
+       "mutable fields owned by distinct race::Domain workers must not "
+       "share a 64-byte cache line: per-shard counters and clocks need "
+       "alignas(64) (util::CacheAligned) padding or coherence traffic "
+       "serializes the shard pool",
+       "§3.2 (per-node state must stay physically per-node to scale)"},
+      {"PSL504", Severity::Warning,
+       "a shared atomic should not be updated inside a hot loop without "
+       "local accumulation: per-iteration fetch_add on one cache line is a "
+       "coherence hotspot — accumulate locally, publish once per window",
+       "§3.1.1 (sub-quantum slices leave no room for coherence stalls)"},
+      {"PSL505", Severity::Warning,
+       "a mutex guarding state whose race::Owned tag proves single-domain "
+       "ownership is wider than its ownership scope — the serialization "
+       "claim is suspect and the runtime ledger must confirm or refute it",
+       "§3.2 (ownership, not locking, is the paper's isolation mechanism)"},
+      {"PSL506", Severity::Error,
+       "a statically claimed single-domain serialization site was acquired "
+       "from multiple domains at runtime: the PSL505 claim (and any lock "
+       "removal built on it) is refuted by the contention ledger",
+       "§5 (certify-then-verify: runtime witnesses police static claims)"},
   };
   return kRules;
 }
@@ -209,6 +245,52 @@ std::string rule_table() {
     os << r.id << "  " << to_string(r.severity) << "\n    invariant: "
        << r.invariant << "\n    paper:     " << r.paper_ref << "\n";
   }
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_report_header(const std::string& tool) {
+  std::ostringstream os;
+  os << "\"schema\": " << kReportSchemaVersion << ",\n  \"tool\": \""
+     << json_escape(tool) << "\",";
+  return os.str();
+}
+
+std::string diagnostics_json(const std::vector<Diagnostic>& ds, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Diagnostic& d = ds[i];
+    os << (i == 0 ? "" : ",") << "\n" << pad << "  {\"rule\": \""
+       << json_escape(d.rule) << "\", \"severity\": \""
+       << to_string(d.severity) << "\", \"subject\": \""
+       << json_escape(d.subject) << "\", \"message\": \""
+       << json_escape(d.message) << "\", \"fix_hint\": \""
+       << json_escape(d.fix_hint) << "\"}";
+  }
+  os << (ds.empty() ? "" : "\n" + pad) << "]";
   return os.str();
 }
 

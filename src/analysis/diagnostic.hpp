@@ -46,4 +46,26 @@ struct Diagnostic {
 /// --list-rules).
 [[nodiscard]] std::string rule_table();
 
+// -- Shared JSON report vocabulary --------------------------------------------
+// Every pasched-* tool emits machine-readable reports through these helpers
+// so CI artifact parsing stays stable across PRs: a report always opens with
+// the same "schema"/"tool" header, and findings always serialize with the
+// same keys. Bump kReportSchemaVersion when a key is renamed or removed
+// (adding keys is backward compatible and needs no bump).
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// The common opening fields of every tool report:
+///   "schema": N,\n  "tool": "<tool>",
+/// Emit directly after the opening '{' with two-space indentation.
+[[nodiscard]] std::string json_report_header(const std::string& tool);
+
+/// Findings as a JSON array (no trailing newline). `indent` is the column
+/// of the array's own brackets; elements nest two deeper.
+[[nodiscard]] std::string diagnostics_json(const std::vector<Diagnostic>& ds,
+                                           int indent);
+
 }  // namespace pasched::analysis

@@ -1,0 +1,32 @@
+// Per-file PSL50x rules: false-sharing layout (PSL503), contended atomic
+// in a hot loop (PSL504), and coarse-mutex-over-owned-state serialization
+// claims (PSL505, which also feeds the runtime ledger's PSL506 check).
+// The graph-level rules (PSL501 cycles, PSL502 lock across blocking seam)
+// live in runner.cpp where the whole-scan LockGraph exists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "contend/ledger.hpp"
+#include "contend/locks.hpp"
+#include "srclint/source.hpp"
+
+namespace pasched::contend {
+
+struct FileRuleStats {
+  int suppressions_honored = 0;
+};
+
+/// Runs PSL503/PSL504/PSL505 over one file. Suppressions are honored for
+/// findings; PSL505 claims are recorded into `claims` even when the WARN is
+/// suppressed — the certify-then-verify contract keeps runtime verification
+/// alive for silenced claims.
+void run_file_rules(const srclint::SourceFile& f, const FileLocks& locks,
+                    const ContendConfig& cfg,
+                    std::vector<analysis::Diagnostic>& findings,
+                    std::vector<SerializationClaim>& claims,
+                    FileRuleStats& stats);
+
+}  // namespace pasched::contend

@@ -1,0 +1,205 @@
+#include "contend/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "contend/rules.hpp"
+#include "srclint/compiledb.hpp"
+
+namespace pasched::contend {
+
+namespace {
+
+using srclint::SourceFile;
+
+/// PSL501: one ERROR per lock-order cycle, anchored at the cycle's
+/// lexicographically-first witness edge so the subject is stable.
+void rule_psl501(const LockGraph& g,
+                 const std::map<std::string, const SourceFile*>& by_path,
+                 const ContendConfig& cfg,
+                 std::vector<analysis::Diagnostic>& findings,
+                 ContendStats& stats) {
+  for (const LockCycle& cyc : g.cycles()) {
+    ++stats.cycles;
+    if (!cfg.rule_enabled("PSL501")) continue;
+    const LockEdge* anchor = &cyc.edges.front();
+    for (const LockEdge& e : cyc.edges) {
+      if (e.file + ":" + std::to_string(e.line) <
+          anchor->file + ":" + std::to_string(anchor->line))
+        anchor = &e;
+    }
+    const auto it = by_path.find(anchor->file);
+    if (it != by_path.end() &&
+        it->second->suppressed("PSL501", anchor->line)) {
+      ++stats.suppressions_honored;
+      continue;
+    }
+    std::ostringstream cycle_txt;
+    for (const std::string& n : cyc.nodes) cycle_txt << n << " -> ";
+    cycle_txt << cyc.nodes.front();
+    std::ostringstream witness;
+    for (std::size_t i = 0; i < cyc.edges.size(); ++i) {
+      const LockEdge& e = cyc.edges[i];
+      witness << (i == 0 ? "" : ", ") << e.from << "->" << e.to << " at "
+              << e.file << ":" << e.line;
+    }
+    analysis::Diagnostic d;
+    d.rule = "PSL501";
+    d.severity = analysis::Severity::Error;
+    d.subject = anchor->file + ":" + std::to_string(anchor->line);
+    d.message = "lock-order cycle: " + cycle_txt.str() + " (" +
+                witness.str() + ") — two workers taking these locks in "
+                "opposite order deadlock the window protocol";
+    d.fix_hint =
+        "impose one global acquisition order (document it where the "
+        "mutexes are declared) and release before taking the earlier lock";
+    findings.push_back(std::move(d));
+  }
+}
+
+/// PSL502: ERROR for every lock held across a blocking seam.
+void rule_psl502(const LockGraph& g,
+                 const std::map<std::string, const SourceFile*>& by_path,
+                 const ContendConfig& cfg,
+                 std::vector<analysis::Diagnostic>& findings,
+                 ContendStats& stats) {
+  if (!cfg.rule_enabled("PSL502")) return;
+  std::set<std::string> emitted;  // dedupe (lock, file, line)
+  for (const BlockingViolation& v : g.blocking()) {
+    const std::string key =
+        v.lock + "|" + v.file + "|" + std::to_string(v.line);
+    if (!emitted.insert(key).second) continue;
+    const auto it = by_path.find(v.file);
+    if (it != by_path.end() && it->second->suppressed("PSL502", v.line)) {
+      ++stats.suppressions_honored;
+      continue;
+    }
+    analysis::Diagnostic d;
+    d.rule = "PSL502";
+    d.severity = analysis::Severity::Error;
+    d.subject = v.file + ":" + std::to_string(v.line);
+    d.message = "lock `" + v.lock + "` is held across a blocking seam (" +
+                v.seam +
+                "): every other thread needing it inherits the full "
+                "barrier/wait latency, the serialization the paper's "
+                "gang-dispatch exists to avoid";
+    d.fix_hint =
+        "release the lock before parking: copy what the critical section "
+        "needs, unlock, then wait (the ShardedEngine drains inboxes "
+        "outside its plan lock for exactly this reason)";
+    findings.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+ContendReport run_files(const ContendOptions& opts,
+                        const std::vector<std::string>& rels) {
+  ContendReport rep;
+  const std::filesystem::path root(opts.root);
+
+  std::vector<SourceFile> files;
+  std::vector<FileLocks> locks;
+  for (const std::string& rel : rels) {
+    ++rep.stats.files_scanned;
+    if (!opts.cfg.in_scope(rel)) continue;
+    ++rep.stats.files_in_scope;
+    files.push_back(srclint::lex_file((root / rel).string(), rel));
+    locks.push_back(extract_locks(files.back(), opts.cfg));
+    const FileLocks& fl = locks.back();
+    rep.stats.functions += fl.functions.size();
+    rep.stats.mutex_members += fl.mutex_members.size();
+    for (const FunctionLocks& fn : fl.functions)
+      rep.stats.acquisitions += fn.acquisitions.size();
+  }
+
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+
+  const LockGraph graph(locks);
+  rep.graph = graph.edge_lines();
+  rep.stats.graph_nodes = graph.node_count();
+  rep.stats.graph_edges = graph.edges().size();
+
+  FileRuleStats frs;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    run_file_rules(files[i], locks[i], opts.cfg, rep.findings, rep.claims,
+                   frs);
+  rep.stats.suppressions_honored += frs.suppressions_honored;
+
+  rule_psl501(graph, by_path, opts.cfg, rep.findings, rep.stats);
+  rule_psl502(graph, by_path, opts.cfg, rep.findings, rep.stats);
+
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const analysis::Diagnostic& a,
+                      const analysis::Diagnostic& b) {
+                     return a.subject != b.subject ? a.subject < b.subject
+                                                   : a.rule < b.rule;
+                   });
+  std::stable_sort(rep.claims.begin(), rep.claims.end(),
+                   [](const SerializationClaim& a,
+                      const SerializationClaim& b) {
+                     return a.site != b.site ? a.site < b.site
+                                             : a.file < b.file;
+                   });
+  return rep;
+}
+
+ContendReport run_tree(const ContendOptions& opts) {
+  const srclint::FileSet fset =
+      srclint::discover_files(opts.root, opts.compile_db);
+  ContendReport rep = run_files(opts, fset.rel_paths);
+  rep.origin = fset.origin;
+  return rep;
+}
+
+std::string ContendReport::str() const {
+  std::ostringstream os;
+  for (const analysis::Diagnostic& d : findings) os << d.str() << "\n";
+  os << "pasched-contend: " << stats.files_in_scope << "/"
+     << stats.files_scanned << " files in scope (" << origin << "), "
+     << stats.functions << " functions, " << stats.acquisitions
+     << " acquisitions, " << stats.mutex_members << " mutex members, graph "
+     << stats.graph_nodes << " nodes / " << stats.graph_edges << " edges / "
+     << stats.cycles << " cycles, " << claims.size() << " serialization "
+     << "claim" << (claims.size() == 1 ? "" : "s") << ", "
+     << stats.suppressions_honored << " suppressions honored, "
+     << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
+     << "\n";
+  return os.str();
+}
+
+std::string ContendReport::json() const {
+  std::ostringstream os;
+  os << "{\n  " << analysis::json_report_header("pasched-contend") << "\n"
+     << "  \"files_scanned\": " << stats.files_scanned << ",\n"
+     << "  \"files_in_scope\": " << stats.files_in_scope << ",\n"
+     << "  \"origin\": \"" << analysis::json_escape(origin) << "\",\n"
+     << "  \"functions\": " << stats.functions << ",\n"
+     << "  \"acquisitions\": " << stats.acquisitions << ",\n"
+     << "  \"mutex_members\": " << stats.mutex_members << ",\n"
+     << "  \"graph_nodes\": " << stats.graph_nodes << ",\n"
+     << "  \"graph_edges\": " << stats.graph_edges << ",\n"
+     << "  \"cycles\": " << stats.cycles << ",\n"
+     << "  \"suppressions_honored\": " << stats.suppressions_honored
+     << ",\n  \"graph\": [";
+  for (std::size_t i = 0; i < graph.size(); ++i)
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << analysis::json_escape(graph[i]) << "\"";
+  os << (graph.empty() ? "]" : "\n  ]") << ",\n  \"claims\": [";
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    const SerializationClaim& c = claims[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"site\": \""
+       << analysis::json_escape(c.site) << "\", \"file\": \""
+       << analysis::json_escape(c.file) << "\", \"line\": " << c.line
+       << "}";
+  }
+  os << (claims.empty() ? "]" : "\n  ]") << ",\n  \"findings\": "
+     << analysis::diagnostics_json(findings, 2) << "\n}\n";
+  return os.str();
+}
+
+}  // namespace pasched::contend

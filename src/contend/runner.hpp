@@ -1,0 +1,56 @@
+// Tree-level driver for the pasched-contend static analyzer: discovery
+// (shared with srclint) → lex → lockset extraction → cross-TU LockGraph →
+// PSL501/502 graph rules + PSL503/504/505 file rules → ordered report plus
+// the PSL505 serialization-claim list the runtime ledger verifies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "contend/graph.hpp"
+#include "contend/ledger.hpp"
+#include "contend/locks.hpp"
+
+namespace pasched::contend {
+
+struct ContendOptions {
+  std::string root = ".";  // tree to scan (repo root or fixture root)
+  std::string compile_db;  // optional compile_commands.json
+  ContendConfig cfg;
+};
+
+struct ContendStats {
+  std::size_t files_scanned = 0;
+  std::size_t files_in_scope = 0;
+  std::size_t functions = 0;
+  std::size_t acquisitions = 0;
+  std::size_t mutex_members = 0;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  std::size_t cycles = 0;
+  int suppressions_honored = 0;
+};
+
+struct ContendReport {
+  std::vector<analysis::Diagnostic> findings;  // sorted by (subject, rule)
+  std::vector<SerializationClaim> claims;      // PSL505 sites, ledger-checked
+  std::vector<std::string> graph;              // canonical edge lines
+  ContendStats stats;
+  std::string origin;  // discovery origin, see srclint/compiledb.hpp
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  [[nodiscard]] std::string str() const;
+  /// Machine-readable report for the CI artifact (schema/tool header).
+  [[nodiscard]] std::string json() const;
+};
+
+/// Scans every discovered file under opts.root (scope-filtered).
+[[nodiscard]] ContendReport run_tree(const ContendOptions& opts);
+
+/// Scans an explicit set of root-relative paths (CLI args, fixture tests).
+[[nodiscard]] ContendReport run_files(const ContendOptions& opts,
+                                      const std::vector<std::string>& rels);
+
+}  // namespace pasched::contend

@@ -174,8 +174,7 @@ std::string ScaleReport::str() const {
 
 std::string ScaleReport::json() const {
   std::ostringstream os;
-  os << "{\n"
-     << "  \"tool\": \"pasched-scale\",\n"
+  os << "{\n  " << analysis::json_report_header("pasched-scale") << "\n"
      << "  \"scenario\": \"" << scenario << "\",\n"
      << "  \"completed\": " << (completed ? "true" : "false") << ",\n"
      << "  \"elapsed_ns\": " << elapsed.count() << ",\n"

@@ -1,7 +1,6 @@
 #include "sim/shard.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <exception>
 #include <thread>
 
@@ -12,8 +11,33 @@
 
 namespace pasched::sim {
 
+namespace {
+
+// Ledger site ids for the engine's three serialization seams. Registration
+// is idempotent by name and cold, so function-local statics keep the ids
+// without ordering constraints against other TUs.
+[[nodiscard]] int inbox_mu_site() {
+  static const int site =
+      util::register_seam_site("Inbox.mu", util::SeamKind::Mutex);
+  return site;
+}
+
+[[nodiscard]] int wrapup_mu_site() {
+  static const int site = util::register_seam_site(
+      "ShardedEngine.wrapup_mu_", util::SeamKind::Mutex);
+  return site;
+}
+
+[[nodiscard]] int window_barrier_site() {
+  static const int site = util::register_seam_site(
+      "ShardedEngine.window_barrier", util::SeamKind::Barrier);
+  return site;
+}
+
+}  // namespace
+
 ShardedEngine::ShardedEngine(int nodes, Duration lookahead)
-    : lookahead_(lookahead) {
+    : lookahead_(lookahead), wrapup_mu_(wrapup_mu_site()) {
   PASCHED_EXPECTS(nodes >= 1);
   PASCHED_EXPECTS_MSG(lookahead > Duration::zero(),
                       "conservative execution requires a positive lookahead");
@@ -30,10 +54,12 @@ ShardedEngine::ShardedEngine(int nodes, Duration lookahead)
     // them, so after a stop they hold exactly the final window's fire times
     // (events_processed_before subtracts that tail).
     engines_.back()->arm_fire_log();
-    inboxes_.push_back(std::make_unique<Inbox>());
+    inboxes_.push_back(std::make_unique<Inbox>(inbox_mu_site()));
   }
-  post_seq_.assign(static_cast<std::size_t>(shards), 0);
-  next_t_.assign(static_cast<std::size_t>(shards), Time::max());
+  post_seq_.assign(static_cast<std::size_t>(shards),
+                   util::CacheAligned<std::uint64_t>{0});
+  next_t_.assign(static_cast<std::size_t>(shards),
+                 util::CacheAligned<Time>{Time::max()});
 }
 
 ShardedEngine::~ShardedEngine() { drain(); }
@@ -54,7 +80,7 @@ void ShardedEngine::post(int src_shard, int dst_shard, Time t,
                     src.now(),
                     lookahead_,
                     src_shard,
-                    post_seq_[static_cast<std::size_t>(src_shard)]++,
+                    post_seq_[static_cast<std::size_t>(src_shard)].v++,
                     std::move(fn)};
   if (monitor_ != nullptr)
     monitor_->on_post(src_shard, dst_shard, t, ev.sent_at, ev.src_seq);
@@ -129,7 +155,7 @@ void ShardedEngine::plan_round(Time deadline) noexcept {
     return;
   }
   Time t0 = Time::max();
-  for (const Time t : next_t_) t0 = std::min(t0, t);
+  for (const auto& slot : next_t_) t0 = std::min(t0, slot.v);
   if (t0 >= deadline || t0 + lookahead_ > deadline) {
     // Every event at t in [t0, deadline] posts cross-shard work no earlier
     // than t0 + lookahead > deadline, so the last window may be inclusive.
@@ -170,7 +196,7 @@ bool ShardedEngine::run_until(Time deadline, int workers) {
   std::mutex err_mu;
   {
     auto completion = [this, deadline]() noexcept { plan_round(deadline); };
-    std::barrier bar(W, completion);
+    util::SeamBarrier bar(window_barrier_site(), W, completion);
     std::vector<std::jthread> pool;
     pool.reserve(static_cast<std::size_t>(W));
     for (int w = 0; w < W; ++w) {
@@ -183,7 +209,7 @@ bool ShardedEngine::run_until(Time deadline, int workers) {
               // so completion-step wrapups execute at kFreeContext.
               const race::ScopedDomain sd(s);
               drain_inbox(s);
-              next_t_[static_cast<std::size_t>(s)] =
+              next_t_[static_cast<std::size_t>(s)].v =
                   engine_of(s).next_event_time();
             }
             bar.arrive_and_wait();  // completion plans the round

@@ -23,7 +23,9 @@
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "util/aligned.hpp"
 #include "util/hotpath.hpp"
+#include "util/seam.hpp"
 
 namespace pasched::sim {
 
@@ -144,12 +146,16 @@ class ShardedEngine final : public Router {
   enum class Round : std::uint8_t { Window, Final, Stop };
 
   struct Inbox {
-    std::mutex mu;
+    /// Instrumented serialization seam: every instance shares the ledger
+    /// site "Inbox.mu" (per-shard rows would fragment the ranking).
+    util::SeamMutex mu;
     std::vector<CrossNodeEvent> q;
     /// Reused drain buffer, touched only by the worker that owns this
     /// shard's drain this round. Its capacity ping-pongs with q via swap,
     /// so steady-state drains allocate nothing on either side.
     std::vector<CrossNodeEvent> scratch;
+
+    explicit Inbox(int site) : mu(site) {}
   };
 
   void worker_loop(int worker, int nworkers, Time deadline);
@@ -164,8 +170,11 @@ class ShardedEngine final : public Router {
 
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
-  std::vector<std::uint64_t> post_seq_;  // per source shard; owner-written
-  std::vector<Time> next_t_;             // published before the plan barrier
+  // Per-shard slots written by distinct domains every window: one cache
+  // line each, or the sharded hot path false-shares its own bookkeeping
+  // (the PSL503 layout rule guards this).
+  std::vector<util::CacheAligned<std::uint64_t>> post_seq_;  // owner-written
+  std::vector<util::CacheAligned<Time>> next_t_;  // published pre-barrier
   Duration lookahead_;
   int hub_ = 0;
 
@@ -178,8 +187,8 @@ class ShardedEngine final : public Router {
   int phase_ = 0;
   bool stopped_early_ = false;
 
-  std::atomic<bool> stop_flag_{false};
-  std::mutex wrapup_mu_;
+  alignas(util::kCacheLineBytes) std::atomic<bool> stop_flag_{false};
+  util::SeamMutex wrapup_mu_;
   std::vector<Engine::Callback> wrapups_;
   ShardMonitor* monitor_ = nullptr;
   ChoiceSource* window_choice_ = nullptr;

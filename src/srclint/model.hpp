@@ -60,4 +60,28 @@ struct MacroCall {
 [[nodiscard]] std::vector<MacroCall> find_macro_calls(
     const SourceFile& f, const std::vector<std::string>& names);
 
+/// A recovered function definition: name (qualified "Class::name" when the
+/// definition is written out-of-line), parameter-list and body extents.
+struct FunctionDef {
+  std::string name;        // "post", "ShardedEngine::post", "TEST", ...
+  int line = 0;            // line of the name token
+  std::size_t params_begin = 0;  // token index just after the opening (
+  std::size_t params_end = 0;    // token index of the matching )
+  std::size_t body_begin = 0;    // token index just after the opening {
+  std::size_t body_end = 0;      // token index of the matching }
+};
+
+/// Every function definition in the file, found by the `name ( params )
+/// [qualifiers] [: ctor-init-list] {` shape. Control-flow keywords, pure
+/// declarations (ending in ';') and call expressions are skipped; lambdas
+/// are not recovered as functions (their bodies belong to the enclosing
+/// definition). This is the walker pasched-contend builds per-function
+/// locksets on, so recall matters more than precision: a macro-heavy
+/// pseudo-definition (TEST(a, b) { ... }) is recovered as a function too.
+[[nodiscard]] std::vector<FunctionDef> find_functions(const SourceFile& f);
+
+/// Bodies of every named class/struct definition in the file (the
+/// find_class_bodies walk without the name filter).
+[[nodiscard]] std::vector<ClassBody> find_all_class_bodies(const SourceFile& f);
+
 }  // namespace pasched::srclint

@@ -9,31 +9,7 @@
 
 namespace pasched::srclint {
 
-namespace {
-
-[[nodiscard]] std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using analysis::json_escape;
 
 std::string SrclintReport::str() const {
   std::ostringstream os;
@@ -48,22 +24,14 @@ std::string SrclintReport::str() const {
 
 std::string SrclintReport::json() const {
   std::ostringstream os;
-  os << "{\n  \"tool\": \"pasched-srclint\",\n"
+  os << "{\n  " << analysis::json_report_header("pasched-srclint") << "\n"
      << "  \"files_scanned\": " << files_scanned << ",\n"
      << "  \"origin\": \"" << json_escape(origin) << "\",\n"
      << "  \"hot_functions\": " << stats.hot_functions << ",\n"
      << "  \"vanishing_check_calls\": " << stats.macro_calls << ",\n"
      << "  \"suppressions_honored\": " << stats.suppressions_honored << ",\n"
-     << "  \"findings\": [";
-  for (std::size_t i = 0; i < findings.size(); ++i) {
-    const analysis::Diagnostic& d = findings[i];
-    os << (i == 0 ? "" : ",") << "\n    {\"rule\": \"" << json_escape(d.rule)
-       << "\", \"severity\": \"" << analysis::to_string(d.severity)
-       << "\", \"subject\": \"" << json_escape(d.subject)
-       << "\", \"message\": \"" << json_escape(d.message)
-       << "\", \"fix_hint\": \"" << json_escape(d.fix_hint) << "\"}";
-  }
-  os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+     << "  \"findings\": " << analysis::diagnostics_json(findings, 2)
+     << "\n}\n";
   return os.str();
 }
 

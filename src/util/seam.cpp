@@ -1,0 +1,72 @@
+#include "util/seam.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pasched::util {
+
+namespace {
+
+struct SiteEntry {
+  std::string name;
+  SeamKind kind = SeamKind::Mutex;
+};
+
+// Registration is cold (engine construction); lookups copy nothing.
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<SiteEntry>& registry() {
+  static std::vector<SiteEntry> sites;
+  return sites;
+}
+
+std::atomic<SeamObserver*> g_observer{nullptr};
+
+}  // namespace
+
+int register_seam_site(const char* name, SeamKind kind) {
+  const std::scoped_lock lk(registry_mu());
+  std::vector<SiteEntry>& sites = registry();
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    if (sites[i].name == name) return static_cast<int>(i);
+  if (sites.size() >= static_cast<std::size_t>(kMaxSeamSites))
+    return kMaxSeamSites - 1;  // overflow bucket; never expected in practice
+  sites.push_back(SiteEntry{name, kind});
+  return static_cast<int>(sites.size()) - 1;
+}
+
+const char* seam_site_name(int site) {
+  const std::scoped_lock lk(registry_mu());
+  const std::vector<SiteEntry>& sites = registry();
+  if (site < 0 || static_cast<std::size_t>(site) >= sites.size())
+    return "<unregistered>";
+  return sites[static_cast<std::size_t>(site)].name.c_str();
+}
+
+SeamKind seam_site_kind(int site) {
+  const std::scoped_lock lk(registry_mu());
+  const std::vector<SiteEntry>& sites = registry();
+  if (site < 0 || static_cast<std::size_t>(site) >= sites.size())
+    return SeamKind::Mutex;
+  return sites[static_cast<std::size_t>(site)].kind;
+}
+
+int seam_site_count() {
+  const std::scoped_lock lk(registry_mu());
+  return static_cast<int>(registry().size());
+}
+
+void install_seam_observer(SeamObserver* obs) noexcept {
+  g_observer.store(obs, std::memory_order_release);
+}
+
+SeamObserver* seam_observer() noexcept {
+  return g_observer.load(std::memory_order_acquire);
+}
+
+}  // namespace pasched::util

@@ -1,0 +1,11 @@
+// Shared mutex declarations for the cross-TU ABBA fixtures: both TUs'
+// `x_` / `y_` accesses canonicalize to CrossPair.x_ / CrossPair.y_ through
+// this declaration, which is what makes the cycle assemble across files.
+#pragma once
+
+#include <mutex>
+
+struct CrossPair {
+  std::mutex x_;
+  std::mutex y_;
+};

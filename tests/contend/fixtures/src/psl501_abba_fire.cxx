@@ -1,0 +1,18 @@
+// Planted PSL501: the classic ABBA deadlock shape inside one TU — two
+// functions taking the same pair of locks in opposite orders.
+#include <mutex>
+
+struct Pair {
+  std::mutex a_;
+  std::mutex b_;
+};
+
+void forward_order(Pair& p) {
+  const std::scoped_lock la(p.a_);
+  const std::scoped_lock lb(p.b_);  // edge Pair.a_ -> Pair.b_
+}
+
+void reverse_order(Pair& p) {
+  const std::scoped_lock lb(p.b_);
+  const std::scoped_lock la(p.a_);  // edge Pair.b_ -> Pair.a_: cycle
+}

@@ -1,0 +1,14 @@
+// Planted PSL501 (cross-TU, half A): this TU takes y_ and then calls into
+// the sibling TU's helper, which takes x_ — the closure adds the edge
+// CrossPair.y_ -> CrossPair.x_. Half B contributes the reverse edge; the
+// cycle only exists when both TUs are scanned together.
+#include "pair.hpp"
+
+void helper_take_x(CrossPair& p) {
+  const std::scoped_lock lx(p.x_);
+}
+
+void cross_y_then_x(CrossPair& p) {
+  const std::scoped_lock ly(p.y_);
+  helper_take_x(p);
+}

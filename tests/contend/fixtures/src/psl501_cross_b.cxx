@@ -1,0 +1,13 @@
+// Planted PSL501 (cross-TU, half B): takes x_ and calls half A's territory
+// via a local helper that takes y_ — edge CrossPair.x_ -> CrossPair.y_,
+// closing the cross-TU cycle with half A.
+#include "pair.hpp"
+
+void helper_take_y(CrossPair& p) {
+  const std::scoped_lock ly(p.y_);
+}
+
+void cross_x_then_y(CrossPair& p) {
+  const std::scoped_lock lx(p.x_);
+  helper_take_y(p);
+}

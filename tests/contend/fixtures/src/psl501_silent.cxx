@@ -1,0 +1,18 @@
+// Silent twin of psl501_abba_fire: both paths honor one global acquisition
+// order, so the graph gets an edge but never a cycle.
+#include <mutex>
+
+struct PairOk {
+  std::mutex c_;
+  std::mutex d_;
+};
+
+void path_one(PairOk& p) {
+  const std::scoped_lock lc(p.c_);
+  const std::scoped_lock ld(p.d_);  // edge PairOk.c_ -> PairOk.d_
+}
+
+void path_two(PairOk& p) {
+  const std::scoped_lock lc(p.c_);
+  const std::scoped_lock ld(p.d_);  // same order: same edge, no cycle
+}

@@ -1,0 +1,22 @@
+// Planted PSL502: a mutex held across a blocking seam — directly (the lock
+// rides into arrive_and_wait) and transitively (the lock is held across a
+// call whose callee parks).
+#include <barrier>
+#include <mutex>
+
+struct Window {
+  std::mutex wmu_;
+  std::barrier<> gate_{2};
+};
+
+void stall_direct(Window& w) {
+  const std::scoped_lock lk(w.wmu_);
+  w.gate_.arrive_and_wait();  // every wmu_ waiter inherits the barrier
+}
+
+void park(Window& w) { w.gate_.arrive_and_wait(); }
+
+void stall_via_call(Window& w) {
+  const std::scoped_lock lk(w.wmu_);
+  park(w);  // callee blocks; the lock is still held
+}

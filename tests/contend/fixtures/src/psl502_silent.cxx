@@ -1,0 +1,21 @@
+// Silent twin of psl502_fire: the critical section closes before parking,
+// so no lock is held at the blocking seam.
+#include <barrier>
+#include <mutex>
+
+struct WindowOk {
+  std::mutex omu_;
+  std::barrier<> ogate_{2};
+  int pending_ = 0;
+};
+
+void drain_then_park(WindowOk& w) {
+  int grabbed = 0;
+  {
+    const std::scoped_lock lk(w.omu_);
+    grabbed = w.pending_;
+    w.pending_ = 0;
+  }
+  (void)grabbed;
+  w.ogate_.arrive_and_wait();  // parked lock-free
+}

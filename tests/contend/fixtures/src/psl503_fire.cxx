@@ -1,0 +1,11 @@
+// Planted PSL503: a shard-shared class whose layout false-shares — an
+// unpadded per-shard scalar array (adjacent slots, distinct writers) and a
+// bare atomic packed beside other fields.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+struct Inbox {
+  std::vector<std::uint64_t> seq_;  // one slot per shard, 8 per cache line
+  std::atomic<bool> stop_;          // shares its line with neighbors
+};

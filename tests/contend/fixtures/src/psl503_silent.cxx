@@ -1,0 +1,12 @@
+// Silent twin of psl503_fire: the same logical layout with every
+// distinct-writer slot isolated on its own cache line.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+struct ShardedEngine {
+  std::vector<util::CacheAligned<std::uint64_t>> seq_;
+  alignas(util::kCacheLineBytes) std::atomic<bool> stop_;
+};

@@ -1,0 +1,12 @@
+// Planted PSL504: a shared atomic read-modify-written once per loop
+// iteration — the cache line bounces between domains once per event.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> g_admitted;
+
+void admit_all(int n) {
+  for (int i = 0; i < n; ++i) {
+    g_admitted.fetch_add(1, std::memory_order_relaxed);
+  }
+}

@@ -1,0 +1,14 @@
+// Silent twin of psl504_fire: accumulate locally, publish once after the
+// loop — one line transfer per drain instead of one per event.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> g_done;
+
+void finish_all(int n) {
+  std::uint64_t local = 0;
+  for (int i = 0; i < n; ++i) {
+    local += 1;
+  }
+  g_done.fetch_add(local, std::memory_order_relaxed);
+}

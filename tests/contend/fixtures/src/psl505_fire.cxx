@@ -1,0 +1,17 @@
+// Planted PSL505: a coarse mutex guarding state whose race::Owned tag
+// already proves single-domain ownership — the lock is wider than the
+// ownership scope. Also emits the serialization claim "Queue.qmu_" that
+// the runtime ledger would verify (PSL506 on refutation).
+#include <mutex>
+
+namespace race {
+template <class T>
+struct Owned {
+  T v{};
+};
+}  // namespace race
+
+struct Queue {
+  race::Owned<int> head_;
+  std::mutex qmu_;
+};

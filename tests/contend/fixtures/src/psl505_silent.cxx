@@ -1,0 +1,20 @@
+// Silent twin of psl505_fire: ownership-tagged state and mutex-guarded
+// state live in separate classes, so no lock is wider than an ownership
+// scope.
+#include <mutex>
+
+namespace race {
+template <class T>
+struct OwnedTag {
+  T v{};
+};
+}  // namespace race
+
+struct OwnedOnly {
+  race::OwnedTag<int> head_;
+};
+
+struct MutexOnly {
+  std::mutex smu_;
+  int shared_ = 0;
+};

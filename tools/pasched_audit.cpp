@@ -23,10 +23,12 @@
 // invariant is violated, 64 = bad usage.
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "apps/aggregate_trace.hpp"
 #include "apps/channels.hpp"
 #include "check/audit.hpp"
@@ -76,6 +78,40 @@ struct AuditParams {
   std::uint64_t seed = 1;
   bool verbose = false;
 };
+
+/// One row of the --json=FILE report, filled per audited scenario.
+struct ScenarioRow {
+  std::string name;
+  std::uint64_t hash = 0;
+  std::uint64_t events = 0;
+  bool completed = false;
+  bool ok = false;
+};
+
+std::vector<ScenarioRow> g_rows;
+
+void write_json(const std::string& path, const char* mode, int rc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "pasched-audit: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  " << analysis::json_report_header("pasched-audit") << "\n"
+      << "  \"mode\": \"" << mode << "\",\n"
+      << "  \"pass\": " << (rc == 0 ? "true" : "false") << ",\n"
+      << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const ScenarioRow& r = g_rows[i];
+    out << "    {\"name\": \"" << analysis::json_escape(r.name)
+        << "\", \"hash\": \"0x" << std::hex << r.hash << std::dec
+        << "\", \"events\": " << r.events
+        << ", \"completed\": " << (r.completed ? "true" : "false")
+        << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+        << (i + 1 < g_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "json report written to " << path << "\n";
+}
 
 struct RunDigest {
   std::uint64_t hash = 0;
@@ -213,8 +249,14 @@ int run_parallel_equivalence(const AuditParams& p, int workers) {
               << "\n  parallel=" << workers << " hash=" << std::hex
               << parn.hash << std::dec << " completed=" << parn.completed
               << " events=" << parn.events << "\n";
-    if (!legacy.completed || !par1.completed || !parn.completed) {
+    ScenarioRow row;
+    row.name = name;
+    row.hash = legacy.hash;
+    row.events = legacy.events;
+    row.completed = legacy.completed && par1.completed && parn.completed;
+    if (!row.completed) {
       std::cout << "  FAIL: a mode did not run the job to completion\n";
+      g_rows.push_back(row);
       rc = 1;
       continue;
     }
@@ -222,9 +264,12 @@ int run_parallel_equivalence(const AuditParams& p, int workers) {
         legacy.elapsed.count() != par1.elapsed.count() ||
         par1.elapsed.count() != parn.elapsed.count()) {
       std::cout << "  FAIL: execution modes diverged\n";
+      g_rows.push_back(row);
       rc = 1;
       continue;
     }
+    row.ok = true;
+    g_rows.push_back(row);
     std::cout << "  OK: all three execution modes are bit-identical\n";
   }
   if (rc == 0) std::cout << "pasched-audit: PASS (parallel equivalence)\n";
@@ -239,13 +284,13 @@ int main(int argc, char** argv) {
   // --seed would "pass" the wrong scenario.
   const std::vector<std::string> typos =
       flags.unknown({"nodes", "tasks-per-node", "calls", "seed", "verbose",
-                     "parallel-equivalence", "workers"});
+                     "parallel-equivalence", "workers", "json"});
   if (!typos.empty()) {
     std::cerr << "pasched-audit: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
     std::cerr << "\nusage: pasched-audit [--nodes=N] [--tasks-per-node=N]"
                  " [--calls=N] [--seed=N] [--verbose]"
-                 " [--parallel-equivalence [--workers=N]]\n";
+                 " [--parallel-equivalence [--workers=N]] [--json=FILE]\n";
     return 64;
   }
   AuditParams p;
@@ -261,13 +306,17 @@ int main(int argc, char** argv) {
     return 64;
   }
 
+  const std::string json_path = flags.get("json", "");
+
   if (flags.get_bool("parallel-equivalence", false)) {
     const int workers = static_cast<int>(flags.get_int("workers", 8));
     if (workers < 1) {
       std::cerr << "pasched-audit: --workers must be positive\n";
       return 64;
     }
-    return run_parallel_equivalence(p, workers);
+    const int rc = run_parallel_equivalence(p, workers);
+    if (!json_path.empty()) write_json(json_path, "parallel-equivalence", rc);
+    return rc;
   }
 
   int rc = 0;
@@ -280,9 +329,15 @@ int main(int argc, char** argv) {
     std::cout << "\n  events=" << a.events << " completed=" << a.completed
               << " hash=" << std::hex << a.hash << std::dec << "\n";
 
+    ScenarioRow row;
+    row.name = name;
+    row.hash = a.hash;
+    row.events = a.events;
+    row.completed = a.completed;
     if (a.hash != b.hash || a.events != b.events) {
       std::cout << "  FAIL: runs diverged (second hash=" << std::hex << b.hash
                 << std::dec << ", events=" << b.events << ")\n";
+      g_rows.push_back(row);
       rc = rc == 0 ? 1 : rc;
       continue;
     }
@@ -290,11 +345,15 @@ int main(int argc, char** argv) {
       std::cout << "  FAIL: invariant violated: "
                 << (a.invariants_ok ? b.invariant_error : a.invariant_error)
                 << "\n";
+      g_rows.push_back(row);
       rc = 2;
       continue;
     }
+    row.ok = true;
+    g_rows.push_back(row);
     std::cout << "  OK: bit-identical and self-consistent\n";
   }
+  if (!json_path.empty()) write_json(json_path, "reproducibility", rc);
   if (rc == 0) std::cout << "pasched-audit: PASS\n";
   return rc;
 }

@@ -1,0 +1,272 @@
+// pasched-contend: static lock-order & serialization analyzer + runtime
+// contention ledger for the partitioned core (PSL501-506).
+//
+// Where pasched-srclint rejects source patterns and pasched-race audits
+// cross-shard causality, contend audits *serialization*: the locks,
+// barriers, and shared lines that decide whether 8 workers scale like 8
+// (the paper's entire thesis, Fig.5 vs Fig.3):
+//
+//   PSL501  lock-order cycle in the cross-TU lock-order graph      (ERROR)
+//   PSL502  lock held across a blocking seam (barrier/wait/drain)  (ERROR)
+//   PSL503  false-sharing layout in a shard-shared class           (WARN)
+//   PSL504  shared atomic read-modify-written in a hot loop        (WARN)
+//   PSL505  coarse mutex over race::Owned single-domain state      (WARN)
+//   PSL506  runtime-refuted PSL505 serialization claim             (ERROR)
+//
+//   ./pasched-contend [--root=DIR] [--compile-db=FILE] [--only=PSL50x[,..]]
+//       [--report=FILE] [--json=FILE] [--graph] [--list-rules] [files...]
+//   ./pasched-contend --ledger [--nodes=N] [--workers=N] [--calls=N]
+//       [--seed=N] [--json=FILE]
+//   ./pasched-contend --plant [--fixtures=DIR]
+//
+// The default mode statically scans the tree under --root (reusing the
+// srclint frontend and compile_commands.json discovery). --ledger addition-
+// ally runs the fig5 aggregate-trace scenario on the partitioned core
+// (default 8 nodes / 8 workers), ranks the serialization sites by measured
+// wait time, and cross-checks every PSL505 claim against the observed
+// acquiring domains (PSL506 on refutation) — the certify-then-verify
+// contract PSL303 established for scalability certificates. --plant scans
+// the planted-violation corpus and synthesizes a multi-domain run against a
+// fabricated claim, so one invocation demonstrates all six rules; CI
+// asserts it exits 1.
+//
+// Findings are silenced per line with `// srclint-ok(PSLnnn): reason`.
+// Exit status: 0 = no ERROR findings, 1 = ERROR findings, 2 = internal
+// model violation, 64 = bad usage.
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "apps/aggregate_trace.hpp"
+#include "check/check.hpp"
+#include "contend/ledger.hpp"
+#include "contend/runner.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "util/flags.hpp"
+#include "util/seam.hpp"
+
+using namespace pasched;
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+struct LedgerParams {
+  int nodes = 8;    // fig5's cluster size
+  int workers = 8;  // parallel8: one worker per node shard
+  int calls = 120;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the fig5 prototype scenario on the partitioned core with the
+/// contention ledger installed; returns its report.
+contend::LedgerReport run_fig5_ledger(const LedgerParams& p,
+                                      contend::Ledger& ledger) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(p.nodes);
+  cfg.cluster.seed = p.seed;
+  cfg.cluster.node.tunables = core::prototype_kernel();
+  cfg.job.ntasks = p.nodes * 16;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.seed = p.seed;
+  cfg.use_coscheduler = true;
+  cfg.cosched = core::paper_cosched();
+  cfg.parallel = p.workers;
+
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = p.calls;
+  at.warmup = sim::Duration::sec(6);
+
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+  ledger.reset();
+  util::install_seam_observer(&ledger);
+  sim.run();
+  util::install_seam_observer(nullptr);
+  return ledger.report();
+}
+
+void append_sorted(contend::ContendReport& rep,
+                   std::vector<analysis::Diagnostic> extra) {
+  rep.findings.insert(rep.findings.end(),
+                      std::make_move_iterator(extra.begin()),
+                      std::make_move_iterator(extra.end()));
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const analysis::Diagnostic& a,
+                      const analysis::Diagnostic& b) {
+                     return a.subject != b.subject ? a.subject < b.subject
+                                                   : a.rule < b.rule;
+                   });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::vector<std::string> typos = flags.unknown(
+      {"root", "compile-db", "only", "report", "json", "graph", "list-rules",
+       "plant", "fixtures", "ledger", "nodes", "workers", "calls", "seed"});
+  if (!typos.empty()) {
+    std::cerr << "pasched-contend: unknown flag(s):";
+    for (const std::string& t : typos) std::cerr << " --" << t;
+    std::cerr << "\nusage: pasched-contend [--root=DIR] [--compile-db=FILE]"
+                 " [--only=PSL50x[,...]] [--report=FILE] [--json=FILE]"
+                 " [--graph] [--list-rules] [files...]\n"
+                 "       pasched-contend --ledger [--nodes=N] [--workers=N]"
+                 " [--calls=N] [--seed=N] [--json=FILE]\n"
+                 "       pasched-contend --plant [--fixtures=DIR]\n";
+    return 64;
+  }
+  if (flags.get_bool("list-rules", false)) {
+    for (const analysis::RuleInfo& r : analysis::all_rules()) {
+      const std::string id(r.id);
+      if (id.size() == 6 && id.compare(0, 4, "PSL5") == 0)
+        std::cout << id << "  " << analysis::to_string(r.severity)
+                  << "\n    invariant: " << r.invariant
+                  << "\n    paper:     " << r.paper_ref << "\n";
+    }
+    return 0;
+  }
+
+  contend::ContendOptions opts;
+  opts.root = flags.get("root", ".");
+  const bool plant = flags.get_bool("plant", false);
+  const bool ledger_mode = flags.get_bool("ledger", false);
+  if (plant) {
+    opts.root = flags.get(
+        "fixtures",
+        (std::filesystem::path(opts.root) / "tests/contend/fixtures")
+            .string());
+    if (!std::filesystem::is_directory(opts.root)) {
+      std::cerr << "pasched-contend: fixture corpus not found at "
+                << opts.root << "\n";
+      return 64;
+    }
+  } else {
+    opts.compile_db = flags.get("compile-db", "");
+    if (opts.compile_db.empty()) {
+      const std::filesystem::path guess =
+          std::filesystem::path(opts.root) / "build/compile_commands.json";
+      if (std::filesystem::exists(guess)) opts.compile_db = guess.string();
+    }
+  }
+  opts.cfg.only = split_commas(flags.get("only", ""));
+  for (const std::string& id : opts.cfg.only) {
+    if (analysis::find_rule(id) == nullptr) {
+      std::cerr << "pasched-contend: unknown rule " << id << "\n";
+      return 64;
+    }
+  }
+
+  LedgerParams lp;
+  lp.nodes = static_cast<int>(flags.get_int("nodes", lp.nodes));
+  lp.workers = static_cast<int>(flags.get_int("workers", lp.workers));
+  lp.calls = static_cast<int>(flags.get_int("calls", lp.calls));
+  lp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (lp.nodes < 2 || lp.workers < 1 || lp.calls < 1) {
+    std::cerr << "pasched-contend: --nodes must be >= 2 and --workers/"
+                 "--calls positive\n";
+    return 64;
+  }
+
+  contend::ContendReport rep;
+  contend::Ledger ledger;
+  contend::LedgerReport lrep;
+  bool ledger_ran = false;
+  try {
+    if (!flags.positional().empty())
+      rep = contend::run_files(opts, flags.positional());
+    else
+      rep = contend::run_tree(opts);
+
+    if (plant) {
+      // The PSL506 leg: a synthetic multi-domain run against a fabricated
+      // single-domain claim on the inbox seam. Every shard worker acquires
+      // Inbox.mu under its own race::Domain, so the ledger must refute it.
+#if PASCHED_VALIDATE_ENABLED
+      LedgerParams tiny;
+      tiny.nodes = 2;
+      tiny.workers = 2;
+      tiny.calls = 8;
+      lrep = run_fig5_ledger(tiny, ledger);
+      ledger_ran = true;
+      std::vector<contend::SerializationClaim> planted = rep.claims;
+      planted.push_back(contend::SerializationClaim{
+          "Inbox.mu", "tests/contend/fixtures/planted-claim", 1});
+      append_sorted(rep, ledger.check_claims(planted));
+#else
+      std::cout << "pasched-contend: PSL506 leg skipped (seams are "
+                   "uninstrumented under -DPASCHED_VALIDATE=OFF)\n";
+#endif
+    } else if (ledger_mode) {
+#if PASCHED_VALIDATE_ENABLED
+      lrep = run_fig5_ledger(lp, ledger);
+      ledger_ran = true;
+      append_sorted(rep, ledger.check_claims(rep.claims));
+#endif
+    }
+  } catch (const check::CheckError& e) {
+    std::cerr << "pasched-contend: model invariant violated: " << e.what()
+              << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "pasched-contend: " << e.what() << "\n";
+    return 64;
+  }
+
+  std::cout << rep.str();
+  if (flags.get_bool("graph", false)) {
+    std::cout << "lock-order graph (" << rep.graph.size() << " edges):\n";
+    for (const std::string& e : rep.graph) std::cout << "  " << e << "\n";
+  }
+  if (ledger_ran) {
+    std::cout << lrep.str();
+    if (lrep.sites.empty())
+      std::cout << "pasched-contend: ledger recorded nothing (no "
+                   "instrumented seam crossed)\n";
+  } else if (ledger_mode) {
+    std::cout << "pasched-contend: ledger unavailable under "
+                 "-DPASCHED_VALIDATE=OFF (seams compile to plain "
+                 "std::mutex/std::barrier)\n";
+  }
+
+  const std::string report_file = flags.get("report", "");
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << rep.str();
+    if (ledger_ran) out << lrep.str();
+    std::cout << "report written to " << report_file << "\n";
+  }
+  const std::string json_file = flags.get("json", "");
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    std::string js = rep.json();
+    if (ledger_ran) {
+      // Splice the ledger object into the report before the closing brace.
+      const std::size_t pos = js.rfind("\n}");
+      js.insert(pos, ",\n  \"ledger\": " + lrep.json(2));
+    }
+    out << js;
+    std::cout << "json written to " << json_file << "\n";
+  }
+
+  if (rep.clean()) {
+    std::cout << "pasched-contend: PASS\n";
+    return 0;
+  }
+  return analysis::any_errors(rep.findings) ? 1 : 0;
+}

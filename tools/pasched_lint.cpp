@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/diagnostic.hpp"
 #include "analysis/lint.hpp"
 #include "apps/aggregate_trace.hpp"
 #include "core/presets.hpp"
@@ -41,8 +42,39 @@ using namespace pasched;
 
 namespace {
 
+/// Findings accumulated across every linted label for --json=FILE; the
+/// label is folded into the subject so one flat array stays attributable.
+std::vector<analysis::Diagnostic> g_collected;
+std::string g_json_path;
+
+void collect(const std::string& label,
+             const std::vector<analysis::Diagnostic>& diags) {
+  for (analysis::Diagnostic d : diags) {
+    d.subject = label + ": " + d.subject;
+    g_collected.push_back(std::move(d));
+  }
+}
+
+/// Writes the machine-readable report (shared schema/tool header) on the
+/// way out of every lint mode. Usage errors (64) skip the write.
+int finish(int rc) {
+  if (g_json_path.empty() || rc == 64) return rc;
+  std::ofstream out(g_json_path);
+  if (!out) {
+    std::cerr << "pasched-lint: cannot write " << g_json_path << "\n";
+    return rc == 0 ? 64 : rc;
+  }
+  out << "{\n  " << analysis::json_report_header("pasched-lint") << "\n"
+      << "  \"pass\": " << (rc == 0 ? "true" : "false") << ",\n"
+      << "  \"findings\": " << analysis::diagnostics_json(g_collected, 2)
+      << "\n}\n";
+  std::cout << "json report written to " << g_json_path << "\n";
+  return rc;
+}
+
 int report(const std::string& label,
            const std::vector<analysis::Diagnostic>& diags) {
+  collect(label, diags);
   if (diags.empty()) {
     std::cout << label << ": clean\n";
     return 0;
@@ -121,6 +153,12 @@ int lint_admin_file(const std::string& path,
   } catch (const std::logic_error& e) {
     std::cout << path << ":\n  PSL009 ERROR [admin] unparseable: " << e.what()
               << "\n";
+    analysis::Diagnostic d;
+    d.rule = "PSL009";
+    d.severity = analysis::Severity::Error;
+    d.subject = path + ": admin";
+    d.message = std::string("unparseable: ") + e.what();
+    g_collected.push_back(std::move(d));
     return 1;
   }
   return report(path, analysis::lint(cfg, rules));
@@ -199,6 +237,7 @@ int run_trace_analysis(int calls, bool verbose,
   opts.max_findings = verbose ? 16 : 4;
   const analysis::AnalysisReport rep = analysis::analyze(elog.events(), opts);
   std::cout << rep.str();
+  collect("trace-run", rep.diagnostics());
   if (!result.completed) return 1;
   return analysis::any_errors(rep.diagnostics()) ? 1 : 0;
 }
@@ -210,7 +249,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> typos = flags.unknown(
       {"list-rules", "rules", "all-presets", "kernel", "cosched", "scenario",
        "admin", "schedtune", "trace-run", "trace-calls", "schedule",
-       "verbose"});
+       "verbose", "json"});
   if (!typos.empty()) {
     std::cerr << "pasched-lint: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
@@ -221,7 +260,7 @@ int main(int argc, char** argv) {
                  "       [--scenario=ale3d-naive|ale3d-tuned]"
                  " [--admin=FILE] [--schedtune]\n"
                  "       [--trace-run] [--trace-calls=N] [--schedule=FILE]"
-                 " [--verbose]\n";
+                 " [--verbose] [--json=FILE]\n";
     return 64;
   }
 
@@ -243,6 +282,7 @@ int main(int argc, char** argv) {
   const std::string scenario = flags.get("scenario", "");
   const std::string admin = flags.get("admin", "");
   const bool verbose = flags.get_bool("verbose", false);
+  g_json_path = flags.get("json", "");
 
   if (flags.get_bool("schedtune", false)) {
     const auto kernels = core::named_kernel_presets();
@@ -257,20 +297,20 @@ int main(int argc, char** argv) {
   }
 
   if (flags.get_bool("trace-run", false))
-    return run_trace_analysis(
+    return finish(run_trace_analysis(
         static_cast<int>(flags.get_int("trace-calls", 400)), verbose,
-        flags.get("schedule", ""));
+        flags.get("schedule", "")));
 
-  if (!admin.empty()) return lint_admin_file(admin, rules);
+  if (!admin.empty()) return finish(lint_admin_file(admin, rules));
 
   if (!scenario.empty()) {
     if (scenario != "ale3d-naive" && scenario != "ale3d-tuned") {
       std::cerr << "pasched-lint: unknown scenario '" << scenario << "'\n";
       return 64;
     }
-    return report("scenario " + scenario,
-                  analysis::lint(ale3d_scenario(scenario == "ale3d-tuned"),
-                                 rules));
+    return finish(report("scenario " + scenario,
+                         analysis::lint(ale3d_scenario(scenario == "ale3d-tuned"),
+                                        rules)));
   }
 
   if (!kernel.empty() || !cosched.empty()) {
@@ -295,9 +335,9 @@ int main(int argc, char** argv) {
       cfg.cosched = *c;
       label += "+" + cosched;
     }
-    return report(label, analysis::lint(cfg, rules));
+    return finish(report(label, analysis::lint(cfg, rules)));
   }
 
   // Default (and --all-presets): sweep every shipped preset combination.
-  return lint_all_presets(rules);
+  return finish(lint_all_presets(rules));
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "mc/configs.hpp"
 #include "mc/explorer.hpp"
 #include "mc/schedule.hpp"
@@ -29,6 +30,38 @@
 using namespace pasched;
 
 namespace {
+
+/// Machine-readable result for --json=FILE: the shared schema/tool header,
+/// the run mode and verdict, exploration stats when present, and the
+/// violation (oracle + message) when one was found.
+void write_json(const std::string& path, const std::string& config,
+                const char* mode, const char* verdict,
+                const mc::ExploreStats* stats, const mc::Violation* v) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "pasched-mc: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  " << analysis::json_report_header("pasched-mc") << "\n"
+      << "  \"config\": \"" << analysis::json_escape(config) << "\",\n"
+      << "  \"mode\": \"" << mode << "\",\n"
+      << "  \"verdict\": \"" << verdict << "\",\n";
+  if (stats != nullptr)
+    out << "  \"runs\": " << stats->runs << ",\n"
+        << "  \"steps\": " << stats->steps << ",\n"
+        << "  \"branches\": " << stats->branches << ",\n"
+        << "  \"dpor_skips\": " << stats->dpor_skips << ",\n"
+        << "  \"visited_prunes\": " << stats->visited_prunes << ",\n"
+        << "  \"clipped\": " << (stats->clipped ? "true" : "false") << ",\n";
+  if (v != nullptr)
+    out << "  \"violation\": {\"oracle\": \"" << mc::to_string(v->oracle)
+        << "\", \"message\": \"" << analysis::json_escape(v->message)
+        << "\"}\n";
+  else
+    out << "  \"violation\": null\n";
+  out << "}\n";
+  std::cout << "json report written to " << path << "\n";
+}
 
 void print_stats(const mc::ExploreStats& s) {
   std::cout << "  runs=" << s.runs << " steps=" << s.steps
@@ -80,7 +113,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> typos = flags.unknown(
       {"config", "list-configs", "depth", "max-runs", "window", "tolerance",
        "no-reduce", "no-prune", "shrink", "replay", "schedule-out",
-       "verbose"});
+       "verbose", "json"});
   if (!typos.empty()) {
     std::cerr << "pasched-mc: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
@@ -88,7 +121,8 @@ int main(int argc, char** argv) {
                  "       [--depth=N] [--max-runs=N] [--window=US]"
                  " [--tolerance=SEC]\n"
                  "       [--no-reduce] [--no-prune] [--shrink]\n"
-                 "       [--replay=FILE] [--schedule-out=FILE] [--verbose]\n";
+                 "       [--replay=FILE] [--schedule-out=FILE] [--verbose]"
+                 " [--json=FILE]\n";
     return 64;
   }
 
@@ -123,6 +157,7 @@ int main(int argc, char** argv) {
   const bool shrink = flags.get_bool("shrink", false);
   const std::string out_path = flags.get("schedule-out", "");
   const std::string replay_path = flags.get("replay", "");
+  const std::string json_path = flags.get("json", "");
 
   mc::Explorer explorer(factory, opts);
 
@@ -147,10 +182,15 @@ int main(int argc, char** argv) {
     if (rec.violation) {
       std::cout << "VIOLATION (" << mc::to_string(rec.violation->oracle)
                 << "): " << rec.violation->message << "\n";
+      if (!json_path.empty())
+        write_json(json_path, config, "replay", "violation", nullptr,
+                   &*rec.violation);
       return 1;
     }
     std::cout << "replay clean (outcome " << rec.outcome << "s, "
               << rec.events.size() << " events)\n";
+    if (!json_path.empty())
+      write_json(json_path, config, "replay", "clean", nullptr, nullptr);
     return 0;
   }
 
@@ -163,15 +203,23 @@ int main(int argc, char** argv) {
   if (flags.get_bool("verbose", false))
     std::cout << "  outcome range: [" << res.min_outcome << "s, "
               << res.max_outcome << "s]\n";
-  if (res.violation)
+  if (res.violation) {
+    if (!json_path.empty())
+      write_json(json_path, config, "explore", "violation", &res.stats,
+                 &*res.violation);
     return report_violation(*res.violation, explorer, shrink, out_path,
                             config);
+  }
   if (res.stats.clipped) {
     std::cout << "no violation found, but the budget clipped exploration — "
                  "NOT a certificate\n";
+    if (!json_path.empty())
+      write_json(json_path, config, "explore", "clipped", &res.stats, nullptr);
     return 2;
   }
   std::cout << "certified: all interleavings within the horizon satisfy "
                "every oracle\n";
+  if (!json_path.empty())
+    write_json(json_path, config, "explore", "certified", &res.stats, nullptr);
   return 0;
 }

@@ -91,6 +91,22 @@ void print_findings(std::ostream& os,
   for (const analysis::Diagnostic& d : findings) os << "  " << d.str() << "\n";
 }
 
+/// Findings across every audited scenario, for --json=FILE.
+std::vector<analysis::Diagnostic> g_collected;
+
+void write_json(const std::string& path, int rc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "pasched-race: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  " << analysis::json_report_header("pasched-race") << "\n"
+      << "  \"pass\": " << (rc == 0 ? "true" : "false") << ",\n"
+      << "  \"findings\": " << analysis::diagnostics_json(g_collected, 2)
+      << "\n}\n";
+  std::cout << "json report written to " << path << "\n";
+}
+
 /// Audits one scenario; returns the exit code contribution (0 or 1).
 int run_one(const Scenario& s, const Params& p, std::ostream& report) {
   std::cout << "scenario " << s.name << ": audit (workers=" << p.workers
@@ -126,6 +142,7 @@ int run_one(const Scenario& s, const Params& p, std::ostream& report) {
   }
 
   print_findings(report, findings);
+  g_collected.insert(g_collected.end(), findings.begin(), findings.end());
   if (findings.empty()) {
     std::cout << "  OK: no PSL2xx findings\n";
     report << "clean\n";
@@ -142,14 +159,14 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const std::vector<std::string> typos = flags.unknown(
       {"scenario", "workers", "nodes", "tasks-per-node", "calls", "seed",
-       "fuzz-windows", "plant-cross-shard-write", "report", "replay"});
+       "fuzz-windows", "plant-cross-shard-write", "report", "replay", "json"});
   if (!typos.empty()) {
     std::cerr << "pasched-race: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
     std::cerr << "\nusage: pasched-race [--scenario=fig3|fig5|both]"
                  " [--workers=N] [--nodes=N] [--tasks-per-node=N] [--calls=N]"
                  " [--seed=N] [--fuzz-windows=N] [--plant-cross-shard-write]"
-                 " [--report=FILE] [--replay=SCHEDULE_FILE]\n";
+                 " [--report=FILE] [--replay=SCHEDULE_FILE] [--json=FILE]\n";
     return 64;
   }
   Params p;
@@ -201,6 +218,8 @@ int main(int argc, char** argv) {
                 << "\n";
       print_findings(std::cout, run.findings);
       print_findings(report, run.findings);
+      g_collected.insert(g_collected.end(), run.findings.begin(),
+                         run.findings.end());
       rc = analysis::any_errors(run.findings) ? 1 : 0;
     } else {
       if (p.scenario != "fig5")
@@ -219,6 +238,8 @@ int main(int argc, char** argv) {
     out << report.str();
     std::cout << "report written to " << p.report << "\n";
   }
+  const std::string json_path = flags.get("json", "");
+  if (!json_path.empty()) write_json(json_path, rc);
   if (rc == 0) std::cout << "pasched-race: PASS\n";
   return rc;
 }
