@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -35,6 +36,7 @@ RunResult run_aggregate(const RunSpec& spec) {
   cfg.use_coscheduler = spec.use_cosched;
   cfg.cosched = spec.cosched;
   cfg.parallel = spec.parallel;
+  cfg.planner = spec.planner;
 
   if (spec.lint_before_run) {
     analysis::LintConfig lc;
@@ -106,6 +108,15 @@ RunResult run_aggregate(const RunSpec& spec) {
     const scale::SpeedupModel model;
     r.predicted_max_speedup = model.predicted_speedup(profiler->windows(), 8);
     r.lookahead_violations = profiler->violations();
+    r.windows = profiler->windows();
+  }
+  if (sim.sharded() != nullptr) {
+    const sim::PlannerStats ps = sim.sharded()->planner_stats();
+    r.planner_rounds = ps.rounds;
+    r.planner_chained = ps.windows;
+    r.planner_coalesced = ps.coalesced;
+    r.ring_posts = ps.ring_posts;
+    r.ring_overflows = ps.ring_overflows;
   }
   if (ledger) {
 #if PASCHED_VALIDATE_ENABLED
@@ -113,6 +124,15 @@ RunResult run_aggregate(const RunSpec& spec) {
 #endif
     const contend::LedgerReport lrep = ledger->report();
     r.barrier_wait_share = lrep.barrier_wait_share;
+    std::uint64_t bwait = 0, bacq = 0;
+    for (const contend::SiteSummary& s : lrep.sites) {
+      if (s.kind != util::SeamKind::Barrier) continue;
+      bwait += s.wait_ns;
+      bacq += s.acquires;
+    }
+    if (bacq > 0)
+      r.measured_barrier_cost_ns =
+          2.0 * static_cast<double>(bwait) / static_cast<double>(bacq);
     for (const contend::SiteSummary& s : lrep.sites) {
       if (r.top_wait_sites.size() == 3) break;
       LedgerSiteRow row;
@@ -171,6 +191,18 @@ double mean_field(const std::vector<RunResult>& rs, double RunResult::* field) {
 std::vector<int> default_proc_sweep(bool full) {
   if (full) return {32, 64, 128, 256, 512, 768, 944, 1024, 1280, 1536};
   return {32, 64, 128, 256, 512, 944};
+}
+
+std::string git_commit() {
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[64] = {};
+  std::string out;
+  if (std::fgets(buf, sizeof buf, p) != nullptr) out = buf;
+  ::pclose(p);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out.empty() ? "unknown" : out;
 }
 
 void banner(const std::string& title, const std::string& paper_ref) {

@@ -11,6 +11,8 @@
 #include "core/simulation.hpp"
 #include "kern/tunables.hpp"
 #include "mpi/config.hpp"
+#include "scale/windows.hpp"
+#include "sim/planner.hpp"
 #include "sim/time.hpp"
 
 namespace bench {
@@ -43,6 +45,10 @@ struct RunSpec {
   /// 0 = classic single event queue; N >= 1 = partitioned execution with N
   /// worker threads (see SimulationConfig::parallel).
   int parallel = 0;
+  /// Window planner for partitioned runs: PerPair is the shipping default;
+  /// Global reproduces the legacy one-window-per-round schedule and is the
+  /// denominator of micro_shard's n_windows reduction figure.
+  pasched::sim::PlannerMode planner = pasched::sim::PlannerMode::PerPair;
   /// Arms the pasched-race seam monitor + ownership sink on a partitioned
   /// run (requires parallel >= 1). micro_shard uses it to price the
   /// full-audit mode against the bare annotation layer.
@@ -96,12 +102,27 @@ struct RunResult {
   /// (must be 0 — a nonzero count means the certificate is unsound).
   double predicted_max_speedup = 0;
   std::uint64_t lookahead_violations = 0;
+  /// The profiled window stats themselves (profile_scale runs): lets a
+  /// bench re-price the model with measured constants (event cost from its
+  /// own serial row, barrier cost from the ledger) instead of defaults.
+  pasched::scale::WindowStats windows;
+  /// Planner execution counters (any partitioned run): sync rounds is the
+  /// n_windows figure the scale report publishes; chained/coalesced size
+  /// the batching; ring counters cover the cross-shard SPSC path.
+  std::uint64_t planner_rounds = 0;
+  std::uint64_t planner_chained = 0;
+  std::uint64_t planner_coalesced = 0;
+  std::uint64_t ring_posts = 0;
+  std::uint64_t ring_overflows = 0;
   /// Filled when RunSpec::ledger was set: whether the build's seams are
   /// instrumented at all, the barrier's share of all recorded seam wait,
   /// and the top serialization sites ranked by wait (at most 3).
   bool ledger_enabled = false;
   double barrier_wait_share = 0;
   std::vector<LedgerSiteRow> top_wait_sites;
+  /// Measured per-round barrier cost (two crossings per sync round times
+  /// the average wait per crossing); negative when nothing was recorded.
+  double measured_barrier_cost_ns = -1;
   /// Per-call durations (us) observed by the recorded rank.
   std::vector<double> recorded;
 };
@@ -121,5 +142,9 @@ struct RunResult {
 
 /// Prints the standard bench banner.
 void banner(const std::string& title, const std::string& paper_ref);
+
+/// The current git commit (short hash), or "unknown" outside a repo — every
+/// BENCH_*.json stamps it so numbers are attributable to a tree state.
+[[nodiscard]] std::string git_commit();
 
 }  // namespace bench

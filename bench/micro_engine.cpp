@@ -1,22 +1,32 @@
 // micro_engine: single-shard event-throughput microbench — the baseline
 // for ROADMAP open item 2 (event-engine hot-path work).
 //
-// Two modes run the identical workload (K concurrent self-rescheduling
-// event chains advancing in fixed steps until ~N total events fire):
+// Modes run the same event budget (K concurrent self-rescheduling event
+// chains advancing in fixed steps until ~N total events fire):
 //
-//   legacy     the classic sim::Engine drives the chains directly
-//   parallel1  the same chains run inside a single-node ShardedEngine
-//              under run_until(workers=1) — pricing the conservative-
-//              window machinery (drain, plan, barrier) per event
+//   legacy      the classic sim::Engine drives the chains directly
+//   parallel1   the same chains run inside a single-node ShardedEngine
+//               under run_until(workers=1) — pricing the conservative-
+//               window machinery (drain, plan, barrier) per event
+//   parallel2/4/8  the chains hop shard-to-shard through post() on an
+//               N-node ShardedEngine with N workers — every event crosses
+//               a pair ring and rides the per-pair horizon chain, so these
+//               rows price the cross-shard path under real thread
+//               parallelism (events/sec-per-core is the honest column on
+//               an oversubscribed box)
 //
-// Both paths fire the same events in the same order, so the throughput
+// legacy and parallel1 fire the same events in the same order, so their
 // ratio isolates the partitioned core's per-event overhead. Results are
 // written as JSON to BENCH_engine.json (schema documented in README.md)
-// so successive PRs can diff events/sec across engine changes.
+// so successive PRs can diff events/sec across engine changes; the JSON is
+// stamped with the git commit and hardware_concurrency, and each row
+// carries speedup_valid (false when the row wants more workers than the
+// machine has hardware threads).
 //
 //   ./micro_engine [--chains=K] [--events=N] [--repeats=R]
 //       [--spacing-ns=S] [--out=FILE]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -24,8 +34,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "sim/engine.hpp"
 #include "sim/shard.hpp"
 #include "util/flags.hpp"
@@ -45,9 +57,18 @@ struct Config {
 struct ModeResult {
   std::string mode;
   std::uint64_t events = 0;
+  /// Worker threads the mode runs (legacy/parallel1 = 1).
+  int cores = 1;
+  /// False when the row wants more workers than hardware threads — its
+  /// absolute throughput then measures oversubscription.
+  bool speedup_valid = true;
   std::vector<double> runs_events_per_sec;
   double best = 0;
   double median = 0;
+
+  [[nodiscard]] double median_per_core() const {
+    return cores > 0 ? median / cores : 0.0;
+  }
 };
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -93,13 +114,48 @@ double run_parallel1_once(const Config& cfg) {
   return static_cast<double>(fired) / seconds_since(t0);
 }
 
-ModeResult measure(const std::string& mode, const Config& cfg,
-                   double (*once)(const Config&)) {
+/// Cross-shard mode: the chains hop shard s -> s+1 (mod nodes) through
+/// post(), one hop per spacing, run by `nodes` workers. Every event
+/// crosses a pair ring and is gated by the per-pair horizon chain — the
+/// partitioned core's cross-shard path under real thread parallelism. The
+/// pair lookahead equals the hop spacing, so each chained window carries
+/// one hop per chain.
+double run_parallelN_once(const Config& cfg, int nodes) {
+  const sim::Duration spacing = sim::Duration::ns(cfg.spacing_ns);
+  sim::ShardedEngine sh(nodes, spacing);
+  std::atomic<std::uint64_t> fired{0};
+  const std::uint64_t budget = cfg.events;
+  const auto chains = static_cast<std::uint64_t>(cfg.chains);
+  std::function<void(int)> hop = [&](int s) {
+    if (fired.fetch_add(1, std::memory_order_relaxed) + 1 + chains > budget)
+      return;
+    const int dst = (s + 1) % nodes;
+    sh.post(s, dst, sh.engine_of(s).now() + spacing,
+            [&hop, dst] { hop(dst); });
+  };
+  for (int c = 0; c < cfg.chains; ++c) {
+    const int s = c % nodes;
+    sim::Engine& e = sh.engine_of(s);
+    e.schedule_at(e.now() + spacing, [&hop, s] { hop(s); });
+  }
+  const std::int64_t steps = static_cast<std::int64_t>(
+      cfg.events / static_cast<std::uint64_t>(cfg.chains)) + 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  sh.run_until(sh.engine_of(0).now() + spacing * (steps + 2), nodes);
+  return static_cast<double>(fired.load(std::memory_order_relaxed)) /
+         seconds_since(t0);
+}
+
+ModeResult measure(const std::string& mode, const Config& cfg, int cores,
+                   const std::function<double()>& once) {
   ModeResult r;
   r.mode = mode;
   r.events = cfg.events;
+  r.cores = cores;
+  const unsigned hw = std::thread::hardware_concurrency();
+  r.speedup_valid = hw > 0 && static_cast<unsigned>(cores) <= hw;
   for (int i = 0; i < cfg.repeats; ++i) {
-    const double eps = once(cfg);
+    const double eps = once();
     r.runs_events_per_sec.push_back(eps);
     std::cout << "  " << mode << " run " << (i + 1) << "/" << cfg.repeats
               << ": " << static_cast<std::uint64_t>(eps) << " events/s\n";
@@ -113,8 +169,12 @@ ModeResult measure(const std::string& mode, const Config& cfg,
 
 void emit_mode(std::ostream& os, const ModeResult& r, bool last) {
   os << "    {\"mode\": \"" << r.mode << "\", \"events\": " << r.events
+     << ", \"cores\": " << r.cores
+     << ", \"speedup_valid\": " << (r.speedup_valid ? "true" : "false")
      << ", \"best_events_per_sec\": " << static_cast<std::uint64_t>(r.best)
      << ", \"median_events_per_sec\": " << static_cast<std::uint64_t>(r.median)
+     << ", \"median_events_per_sec_per_core\": "
+     << static_cast<std::uint64_t>(r.median_per_core())
      << ", \"runs\": [";
   for (std::size_t i = 0; i < r.runs_events_per_sec.size(); ++i)
     os << (i ? ", " : "")
@@ -149,20 +209,44 @@ int main(int argc, char** argv) {
     return 64;
   }
 
+  const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "micro_engine: " << cfg.chains << " chains, " << cfg.events
-            << " events/run, " << cfg.repeats << " repeats\n";
-  const ModeResult legacy = measure("legacy", cfg, run_legacy_once);
-  const ModeResult par1 = measure("parallel1", cfg, run_parallel1_once);
+            << " events/run, " << cfg.repeats
+            << " repeats, hardware_concurrency=" << hw << "\n";
+  std::vector<ModeResult> modes;
+  modes.push_back(
+      measure("legacy", cfg, 1, [&cfg] { return run_legacy_once(cfg); }));
+  modes.push_back(measure("parallel1", cfg, 1,
+                          [&cfg] { return run_parallel1_once(cfg); }));
+  for (const int n : {2, 4, 8})
+    modes.push_back(measure("parallel" + std::to_string(n), cfg, n,
+                            [&cfg, n] { return run_parallelN_once(cfg, n); }));
+  const ModeResult& legacy = modes[0];
+  const ModeResult& par1 = modes[1];
   const double ratio = legacy.median > 0 ? par1.median / legacy.median : 0;
+
+  std::cout << "\nmode        cores  median_ev/s  ev/s-per-core  valid\n";
+  for (const ModeResult& m : modes)
+    std::cout << m.mode
+              << std::string(m.mode.size() < 12 ? 12 - m.mode.size() : 1, ' ')
+              << m.cores << "      " << static_cast<std::uint64_t>(m.median)
+              << "      " << static_cast<std::uint64_t>(m.median_per_core())
+              << "      " << (m.speedup_valid ? "yes" : "OVERSUBSCRIBED")
+              << "\n";
 
   std::ostringstream os;
   os << "{\n  \"bench\": \"micro_engine\",\n"
+     << "  \"git_commit\": \"" << bench::git_commit() << "\",\n"
+     << "  \"hardware_concurrency\": " << hw << ",\n"
+     << "  \"speedup_valid_note\": \"rows with cores > hardware_concurrency "
+        "measure oversubscription; compare median_events_per_sec_per_core "
+        "only across speedup_valid rows\",\n"
      << "  \"config\": {\"chains\": " << cfg.chains
      << ", \"events\": " << cfg.events << ", \"repeats\": " << cfg.repeats
      << ", \"spacing_ns\": " << cfg.spacing_ns << "},\n"
      << "  \"modes\": [\n";
-  emit_mode(os, legacy, false);
-  emit_mode(os, par1, true);
+  for (std::size_t i = 0; i < modes.size(); ++i)
+    emit_mode(os, modes[i], i + 1 == modes.size());
   os << "  ],\n  \"parallel1_over_legacy_median\": " << ratio << "\n}\n";
   std::ofstream out(cfg.out);
   out << os.str();

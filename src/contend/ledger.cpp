@@ -64,6 +64,16 @@ void Ledger::on_barrier_wait(int site, std::uint64_t wait_ns) noexcept {
                          std::memory_order_relaxed);
 }
 
+void Ledger::on_wait(int site, std::uint64_t wait_ns) noexcept {
+  Slot& s = slot(site);
+  s.acquires.fetch_add(1, std::memory_order_relaxed);
+  s.contended.fetch_add(1, std::memory_order_relaxed);  // a spin happened
+  s.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  bump_max(s.max_wait_ns, wait_ns);
+  s.domain_mask.fetch_or(domain_bit(race::current_domain()),
+                         std::memory_order_relaxed);
+}
+
 void Ledger::reset() noexcept {
   for (auto& wrapped : slots_) {
     Slot& s = wrapped.v;
@@ -162,7 +172,9 @@ std::string LedgerReport::str() const {
   for (const SiteSummary& s : sites) {
     std::snprintf(buf, sizeof buf, "%.1f%%", s.wait_share * 100.0);
     t.add_row({s.name,
-               s.kind == util::SeamKind::Barrier ? "barrier" : "mutex",
+               s.kind == util::SeamKind::Barrier
+                   ? "barrier"
+                   : (s.kind == util::SeamKind::Wait ? "wait" : "mutex"),
                util::Table::cell(
                    static_cast<unsigned long long>(s.acquires)),
                util::Table::cell(
@@ -192,7 +204,9 @@ std::string LedgerReport::json(int indent) const {
     const SiteSummary& s = sites[i];
     os << (i == 0 ? "\n" : ",\n") << pad4 << "{\"site\": \""
        << analysis::json_escape(s.name) << "\", \"kind\": \""
-       << (s.kind == util::SeamKind::Barrier ? "barrier" : "mutex")
+       << (s.kind == util::SeamKind::Barrier
+               ? "barrier"
+               : (s.kind == util::SeamKind::Wait ? "wait" : "mutex"))
        << "\", \"acquires\": " << s.acquires
        << ", \"contended\": " << s.contended
        << ", \"wait_ns\": " << s.wait_ns << ", \"hold_ns\": " << s.hold_ns

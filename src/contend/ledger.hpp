@@ -70,6 +70,11 @@ class Ledger final : public util::SeamObserver {
                   bool contended) noexcept override;
   void on_release(int site, std::uint64_t hold_ns) noexcept override;
   void on_barrier_wait(int site, std::uint64_t wait_ns) noexcept override;
+  /// Horizon-spin (SeamKind::Wait) seams: priced into the per-site rows and
+  /// the total wait, but *not* into barrier_wait_share — replacing barrier
+  /// time with neighbor-only waits is exactly the improvement that share
+  /// exists to measure, so the two must stay separable.
+  void on_wait(int site, std::uint64_t wait_ns) noexcept override;
 
   void reset() noexcept;
   [[nodiscard]] LedgerReport report() const;

@@ -42,6 +42,16 @@ struct SimulationConfig {
   /// partitioned machinery on one thread and must match `--parallel=N`
   /// bit for bit. Incompatible with fabric link_bandwidth contention.
   int parallel = 0;
+  /// Window planner for partitioned runs. PerPair (default) consumes the
+  /// per-pair guaranteed-lookahead matrix (the runtime side of
+  /// pasched-scale's certificate, derived here from the fabric config) and
+  /// chains `window_batch` windows per global synchronization; Global
+  /// reproduces the legacy one-window-per-barrier schedule. Both must be
+  /// bit-identical — the audit gate compares their digests.
+  sim::PlannerMode planner = sim::PlannerMode::PerPair;
+  int window_batch = sim::kDefaultWindowBatch;
+  /// Pin shard workers to cores when the host has enough of them.
+  bool pin_workers = true;
 };
 
 struct SimulationResult {

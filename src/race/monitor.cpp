@@ -21,6 +21,7 @@ Monitor::Monitor(int partitions) : n_(partitions) {
   PASCHED_EXPECTS(partitions >= 1);
   vc_.assign(static_cast<std::size_t>(n_),
              std::vector<std::uint64_t>(static_cast<std::size_t>(n_), 0));
+  pub_.assign(static_cast<std::size_t>(n_), {});
 }
 
 void Monitor::on_post(int src_shard, int dst_shard, sim::Time t,
@@ -79,6 +80,33 @@ void Monitor::on_window_begin(int shard, sim::Time window_end) {
   ++vc_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(shard)];
   const std::scoped_lock lk(mu_);
   ++stats_.windows;
+}
+
+void Monitor::on_horizon_publish(int shard, sim::Time horizon) {
+  static_cast<void>(horizon);
+  auto& row = vc_[static_cast<std::size_t>(shard)];
+  {
+    const std::scoped_lock lk(mu_);
+    pub_[static_cast<std::size_t>(shard)] = row;
+    ++stats_.horizon_publishes;
+  }
+  // Release: like a post, work after the publish is a new epoch so a waiter
+  // only absorbs what the horizon actually covered.
+  ++row[static_cast<std::size_t>(shard)];
+}
+
+void Monitor::on_horizon_wait(int dst_shard, int src_shard) {
+  std::vector<std::uint64_t> snap;
+  {
+    const std::scoped_lock lk(mu_);
+    snap = pub_[static_cast<std::size_t>(src_shard)];
+    ++stats_.horizon_waits;
+  }
+  // Acquire: the source's published past is now the waiter's. pub_ holds the
+  // *latest* snapshot, which is exactly right — the waiter's spin reads the
+  // current horizon value, so it synchronized with the newest store.
+  if (!snap.empty())
+    join_into(vc_[static_cast<std::size_t>(dst_shard)], snap);
 }
 
 void Monitor::on_plan(sim::Time window_end, bool final_window) {

@@ -29,6 +29,36 @@ RunMonitor::RunMonitor(LookaheadMatrix matrix, sim::ShardedEngine& engine)
   for (int i = 0; i < matrix_.shards; ++i)
     last_counts_[static_cast<std::size_t>(i)] =
         engine_.engine_of(i).events_processed();
+  // Install-time certificate consumption check: the planner's installed
+  // pair bounds are what post() stamps and the window chain assumes, so an
+  // installed bound *larger* than the certified claim means the executor
+  // runs on optimism the certificate never granted — unsound before a
+  // single event fires. (Smaller is fine: the executor merely forfeits
+  // window width; the plant mode's inflated claims land here.)
+  for (int a = 0; a < matrix_.shards; ++a) {
+    for (int b = 0; b < matrix_.shards; ++b) {
+      if (a == b) continue;
+      const Duration installed = engine_.pair_lookahead(a, b);
+      const Duration claimed = matrix_.at(a, b);
+      if (installed <= claimed) continue;
+      ++violations_;
+      if (findings_.size() >= kMaxDetailedFindings) continue;
+      analysis::Diagnostic d;
+      d.rule = "PSL303";
+      d.severity = analysis::Severity::Error;
+      d.subject = "pair(" + std::to_string(a) + "->" + std::to_string(b) +
+                  ") install";
+      d.message = "executor installed pair lookahead " + installed.str() +
+                  " exceeds the certified claim " + claimed.str() +
+                  "; the window planner consumes a bound the static "
+                  "certificate never granted";
+      d.fix_hint =
+          "rebuild the engine's PairLookahead from the same fabric "
+          "derivation the certificate uses (core::Simulation mirrors "
+          "scale::build_lookahead_matrix)";
+      findings_.push_back(std::move(d));
+    }
+  }
 }
 
 void RunMonitor::on_post(int src_shard, int dst_shard, Time t, Time sent_at,

@@ -62,10 +62,14 @@ std::vector<Diagnostic> ScaleReport::diagnostics() const {
                   std::to_string(windows.shards) +
                   " shards (floor " + fmt2(floor) + "); " +
                   std::to_string(windows.n_windows()) +
-                  " barrier crossings dominate the useful work";
+                  " barrier crossings at " +
+                  fmt2(options.model.barrier_cost_ns) + " ns each (" +
+                  barrier_cost_source +
+                  ") dominate the useful work";
       d.fix_hint =
-          "widen the windows: raise inter_node_latency, cut jitter_frac, or "
-          "batch more work per lookahead interval";
+          "widen the windows: raise inter_node_latency, cut jitter_frac, "
+          "raise the planner's window batch, or batch more work per "
+          "lookahead interval";
       out.push_back(std::move(d));
     }
 
@@ -156,6 +160,13 @@ std::string ScaleReport::str() const {
      << "x, hub critical share "
      << fmt2(windows.hub_critical_share() * 100.0) << "%\n";
 
+  os << "  planner: " << planner_mode << " (batch " << window_batch << "), "
+     << rounds << " sync rounds / " << chained_windows
+     << " chained windows (" << coalesced_windows << " coalesced), ring "
+     << ring_posts << " posts / " << ring_overflows
+     << " overflows, barrier cost " << fmt2(barrier_cost_ns_used) << " ns ("
+     << barrier_cost_source << ")\n";
+
   os << "  prediction: window model " << fmt2(predicted_speedup_window_model)
      << "x at " << options.target_workers << " workers ("
      << fmt2(predicted_speedup_no_barrier)
@@ -195,6 +206,15 @@ std::string ScaleReport::json() const {
      << "  \"imbalance\": " << fmt2(windows.imbalance()) << ",\n"
      << "  \"hub_critical_share\": " << fmt2(windows.hub_critical_share())
      << ",\n"
+     << "  \"planner\": \"" << planner_mode << "\",\n"
+     << "  \"window_batch\": " << window_batch << ",\n"
+     << "  \"rounds\": " << rounds << ",\n"
+     << "  \"chained_windows\": " << chained_windows << ",\n"
+     << "  \"coalesced_windows\": " << coalesced_windows << ",\n"
+     << "  \"ring_posts\": " << ring_posts << ",\n"
+     << "  \"ring_overflows\": " << ring_overflows << ",\n"
+     << "  \"barrier_cost_ns_used\": " << fmt2(barrier_cost_ns_used) << ",\n"
+     << "  \"barrier_cost_source\": \"" << barrier_cost_source << "\",\n"
      << "  \"target_workers\": " << options.target_workers << ",\n"
      << "  \"target_speedup\": " << fmt2(options.target_speedup) << ",\n"
      << "  \"predicted_speedup_window_model\": "

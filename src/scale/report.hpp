@@ -13,6 +13,7 @@
 #include "scale/lookahead.hpp"
 #include "scale/windows.hpp"
 #include "scale/workspan.hpp"
+#include "sim/planner.hpp"
 #include "sim/time.hpp"
 
 namespace pasched::scale {
@@ -30,6 +31,12 @@ struct ScaleOptions {
   /// this.
   double hub_share_threshold = 0.25;
   SpeedupModel model;
+  /// Window planner the analyzed executor runs. PerPair is what ships;
+  /// Global reproduces the legacy one-window-per-round schedule and is the
+  /// denominator for the n_windows scalability smoke in CI.
+  sim::PlannerMode planner = sim::PlannerMode::PerPair;
+  /// Chained windows per sync round (PerPair only).
+  int window_batch = sim::kDefaultWindowBatch;
 };
 
 struct ScaleReport {
@@ -48,6 +55,24 @@ struct ScaleReport {
   // Trace half.
   WorkSpan workspan;
   WindowStats windows;
+
+  // Executor facts (ShardedEngine::planner_stats()). `rounds` is what the
+  // barrier-cost model prices; `chained_windows` is how much schedule each
+  // round carried under neighbor-horizon waits only.
+  std::string planner_mode;           // "perpair" | "global"
+  int window_batch = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t chained_windows = 0;
+  std::uint64_t coalesced_windows = 0;
+  std::uint64_t ring_posts = 0;
+  std::uint64_t ring_overflows = 0;
+
+  /// Barrier cost the window model actually priced. "measured" when the
+  /// analysis run could install a contention ledger (no other seam observer
+  /// present, validation build): total barrier wait / crossings, times the
+  /// protocol's two crossings per round. Otherwise the model default.
+  double barrier_cost_ns_used = 0.0;
+  std::string barrier_cost_source = "default";  // "measured" | "default"
 
   // Run facts.
   bool completed = false;

@@ -4,12 +4,35 @@
 #include <vector>
 
 #include "analysis/hb.hpp"
+#include "contend/ledger.hpp"
 #include "scale/monitor.hpp"
 #include "scale/workspan.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/seam.hpp"
 
 namespace pasched::scale {
+
+namespace {
+
+/// Per-round barrier cost measured by the contention ledger: the average
+/// wait a worker paid per arrive_and_wait crossing, times the window
+/// protocol's two crossings per sync round. Returns < 0 when the run
+/// recorded no barrier crossing (nothing to measure).
+[[nodiscard]] double measured_barrier_cost_ns(
+    const contend::LedgerReport& lrep) {
+  std::uint64_t wait_ns = 0;
+  std::uint64_t acquires = 0;
+  for (const contend::SiteSummary& s : lrep.sites) {
+    if (s.kind != util::SeamKind::Barrier) continue;
+    wait_ns += s.wait_ns;
+    acquires += s.acquires;
+  }
+  if (acquires == 0) return -1.0;
+  return 2.0 * static_cast<double>(wait_ns) / static_cast<double>(acquires);
+}
+
+}  // namespace
 
 ScaleReport analyze_scenario(const core::SimulationConfig& cfg,
                              const mpi::WorkloadFactory& factory,
@@ -41,11 +64,45 @@ ScaleReport analyze_scenario(const core::SimulationConfig& cfg,
   tracer.enable(sim.engine().now());
 
   PASCHED_EXPECTS(sim.sharded() != nullptr);
+  sim.sharded()->set_planner(opts.planner, opts.window_batch);
   RunMonitor monitor(rep.matrix, *sim.sharded());
   sim.sharded()->set_monitor(&monitor);
 
+  // Measure c_barrier while certifying: if no other seam observer is
+  // installed (and this is a validation build — seams are uninstrumented
+  // otherwise), hang the contention ledger on the run and price the window
+  // model with the barrier cost this host actually paid, not the default.
+  contend::Ledger ledger;
+  bool ledger_installed = false;
+#if PASCHED_VALIDATE_ENABLED
+  if (util::seam_observer() == nullptr) {
+    util::install_seam_observer(&ledger);
+    ledger_installed = true;
+  }
+#endif
+
   const core::SimulationResult res = sim.run();
   monitor.finalize();
+  if (ledger_installed) {
+    util::install_seam_observer(nullptr);
+    const double measured = measured_barrier_cost_ns(ledger.report());
+    if (measured >= 0.0) {
+      rep.options.model.barrier_cost_ns = measured;
+      rep.barrier_cost_source = "measured";
+    }
+  }
+  rep.barrier_cost_ns_used = rep.options.model.barrier_cost_ns;
+
+  const sim::PlannerStats ps = sim.sharded()->planner_stats();
+  rep.planner_mode = sim.sharded()->planner_mode() == sim::PlannerMode::Global
+                         ? "global"
+                         : "perpair";
+  rep.window_batch = sim.sharded()->window_batch();
+  rep.rounds = ps.rounds;
+  rep.chained_windows = ps.windows;
+  rep.coalesced_windows = ps.coalesced;
+  rep.ring_posts = ps.ring_posts;
+  rep.ring_overflows = ps.ring_overflows;
 
   rep.completed = res.completed;
   rep.elapsed = res.elapsed;
@@ -73,8 +130,8 @@ ScaleReport analyze_scenario(const core::SimulationConfig& cfg,
   rep.workspan = work_span(g);
 
   rep.predicted_speedup_window_model =
-      opts.model.predicted_speedup(rep.windows, opts.target_workers);
-  SpeedupModel free_barriers = opts.model;
+      rep.options.model.predicted_speedup(rep.windows, opts.target_workers);
+  SpeedupModel free_barriers = rep.options.model;
   free_barriers.barrier_cost_ns = 0.0;
   rep.predicted_speedup_no_barrier =
       free_barriers.predicted_speedup(rep.windows, opts.target_workers);

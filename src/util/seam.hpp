@@ -21,7 +21,7 @@
 
 namespace pasched::util {
 
-enum class SeamKind : std::uint8_t { Mutex, Barrier };
+enum class SeamKind : std::uint8_t { Mutex, Barrier, Wait };
 
 /// Fixed capacity of the site registry: observer slots index by site id
 /// without allocation or locking on the hot path.
@@ -41,6 +41,13 @@ class SeamObserver {
   virtual void on_release(int site, std::uint64_t hold_ns) noexcept = 0;
   /// The calling thread spent `wait_ns` parked at barrier `site`.
   virtual void on_barrier_wait(int site, std::uint64_t wait_ns) noexcept = 0;
+  /// The calling thread spent `wait_ns` in a point-to-point spin wait at
+  /// `site` (SeamKind::Wait — the partitioned core's neighbor-horizon
+  /// waits). Deliberately *not* pure: wait sites postdate the mutex/barrier
+  /// hooks, and the default keeps older observers source-compatible.
+  /// Ledger implementations should price these in total wait but not as
+  /// barrier time — a horizon spin is pairwise, not global, serialization.
+  virtual void on_wait(int /*site*/, std::uint64_t /*wait_ns*/) noexcept {}
 };
 
 /// Registers (or finds) the site named `name`; idempotent by name, capped

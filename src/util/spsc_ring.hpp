@@ -1,0 +1,98 @@
+// Bounded single-producer/single-consumer ring for the partitioned core's
+// cross-shard pair channels. One ring per (source shard, destination shard)
+// pair replaces the mutex-guarded inbox: the producer is the worker that
+// owns the source shard, the consumer the worker that owns the destination,
+// and the only shared state is a pair of cache-line-isolated indices — a
+// push or pop is one store plus (amortized) one cache-coherence miss.
+//
+// The indices are monotone uint64 counters; the slot array is a power-of-two
+// so `idx & mask` wraps. Producer and consumer each keep a *cached* copy of
+// the other side's index and only re-read the shared atomic when the cache
+// says the ring looks full/empty — the Lamport-queue refinement that keeps
+// steady-state traffic off the shared lines entirely.
+//
+// Memory ordering: push publishes the slot with a release store of tail_ and
+// the consumer acquires it, so the element's payload (including a moved-in
+// callback's captures) is visible before the consumer can observe the new
+// tail. pop releases head_ after the consumer moved the element out, so the
+// producer can only reuse a slot it can safely overwrite.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/hotpath.hpp"
+
+namespace pasched::util {
+
+template <class T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Producer side -------------------------------------------------------------
+  /// False when the ring is full (the caller falls back to its overflow
+  /// path); never blocks — blocking here would deadlock the window
+  /// protocol, since the consumer only drains after the producer's horizon
+  /// advances past the window that is doing the pushing.
+  [[nodiscard]] PASCHED_HOT bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = static_cast<T&&>(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side -------------------------------------------------------------
+  /// The element at the head, or nullptr when the ring is empty. The
+  /// reference stays valid until pop(); the consumer may move out of it.
+  [[nodiscard]] PASCHED_HOT T* front() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
+    return &slots_[static_cast<std::size_t>(head) & mask_];
+  }
+
+  /// Drops the head element (must exist). Resets the slot so captured
+  /// state (e.g. a callback's payload) dies now, not at the next overwrite.
+  PASCHED_HOT void pop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    slots_[static_cast<std::size_t>(head) & mask_] = T{};
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Consumer-side emptiness (exact for the consumer; a racing producer may
+  /// have pushed since).
+  [[nodiscard]] bool empty() { return front() == nullptr; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 1;
+  // Shared indices, one line each: head_ is consumer-written/producer-read,
+  // tail_ the reverse (PSL503 layout discipline).
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  // Cached peer indices, each owned by exactly one side.
+  alignas(kCacheLineBytes) std::uint64_t head_cache_ = 0;  // producer-owned
+  alignas(kCacheLineBytes) std::uint64_t tail_cache_ = 0;  // consumer-owned
+};
+
+}  // namespace pasched::util

@@ -9,6 +9,7 @@
 
 #include "check/check.hpp"
 #include "sim/engine.hpp"
+#include "sim/planner.hpp"
 #include "sim/shard.hpp"
 
 namespace {
@@ -16,6 +17,8 @@ namespace {
 using pasched::sim::Duration;
 using pasched::sim::Engine;
 using pasched::sim::EventId;
+using pasched::sim::PlannerMode;
+using pasched::sim::PlannerStats;
 using pasched::sim::ShardedEngine;
 using pasched::sim::Time;
 
@@ -255,6 +258,79 @@ TEST(Sharded, DrainReleasesPendingEventsAndInboxes) {
   se.drain();
   EXPECT_EQ(se.events_pending(), 0U);
   // Destructor drains again (idempotent) — must not throw under validation.
+}
+
+TEST(Sharded, QuietWindowsCoalesceIntoTheChain) {
+  // Per-pair planning chains several windows per sync round; a window whose
+  // shard has nothing due (rings quiet, next event at or past the end) is
+  // counted as coalesced — it degenerates to a clock advance. With shard 1
+  // completely idle, every one of its windows must coalesce, and the round
+  // count must sit well below the chained-window count (that gap is the
+  // barrier reduction the per-pair planner exists for).
+  ShardedEngine se(2, Duration::us(10));
+  ASSERT_EQ(se.planner_mode(), PlannerMode::PerPair);
+  struct Chain {
+    Engine& e;
+    int remaining;
+    void tick() {
+      if (--remaining <= 0) return;
+      Chain* self = this;
+      e.schedule_at(e.now() + Duration::us(2), [self] { self->tick(); });
+    }
+  };
+  Chain c{se.engine_of(0), 200};
+  Chain* cp = &c;
+  se.engine_of(0).schedule_at(Time::from_ns(100), [cp] { cp->tick(); });
+  EXPECT_TRUE(se.run_until(Time::from_ns(2'000'000), 1));
+  EXPECT_EQ(c.remaining, 0);
+  const PlannerStats st = se.planner_stats();
+  EXPECT_GT(st.rounds, 0U);
+  EXPECT_GT(st.windows, st.rounds);  // chaining actually happened
+  EXPECT_GT(st.coalesced, 0U);       // the idle shard's windows were quiet
+}
+
+TEST(Sharded, FullRingBackpressureSpillsToOverflowWithoutLoss) {
+  // A burst of posts larger than the ring from within a single event: the
+  // consumer cannot drain mid-callback, so everything past the capacity
+  // must take the overflow lane — and still be delivered, in order, at its
+  // stamped time. One worker keeps the fill deterministic.
+  ShardedEngine se(2, Duration::us(10));
+  se.set_ring_capacity(8);
+  std::vector<int> delivered;  // single worker: no concurrent access
+  auto* dp = &delivered;
+  ShardedEngine* router = &se;
+  se.engine_of(0).schedule_at(Time::from_ns(100), [router, dp] {
+    const Time t = router->engine_of(0).now() + Duration::us(10);
+    for (int i = 0; i < 40; ++i)
+      router->post(0, 1, t + Duration::ns(i), [dp, i] { dp->push_back(i); });
+  });
+  EXPECT_TRUE(se.run_until(Time::from_ns(1'000'000), 1));
+  ASSERT_EQ(delivered.size(), 40U);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(delivered[static_cast<std::size_t>(i)], i);
+  const PlannerStats st = se.planner_stats();
+  EXPECT_EQ(st.ring_posts, 40U);
+  EXPECT_EQ(st.ring_overflows, 32U);  // capacity 8, the rest spilled
+}
+
+TEST(Sharded, RingCapacityOneStillDeliversEverythingThroughOverflow) {
+  // Degenerate capacity (rounds up to 2): nearly every post overflows.
+  // The overflow lane is a correctness path, not best-effort — the digest
+  // equivalence across planners depends on it delivering a clean prefix.
+  ShardedEngine se(2, Duration::us(10));
+  se.set_ring_capacity(1);
+  int delivered = 0;
+  int* dp = &delivered;
+  ShardedEngine* router = &se;
+  se.engine_of(0).schedule_at(Time::from_ns(100), [router, dp] {
+    const Time t = router->engine_of(0).now() + Duration::us(10);
+    for (int i = 0; i < 10; ++i)
+      router->post(0, 1, t + Duration::ns(i), [dp] { ++*dp; });
+  });
+  EXPECT_TRUE(se.run_until(Time::from_ns(1'000'000), 1));
+  EXPECT_EQ(delivered, 10);
+  const PlannerStats st = se.planner_stats();
+  EXPECT_EQ(st.ring_posts, 10U);
+  EXPECT_EQ(st.ring_overflows, 8U);  // 2 slots held, 8 spilled
 }
 
 TEST(Sharded, TeardownWithPendingEventsDoesNotLeak) {

@@ -207,9 +207,12 @@ RunDigest run_scenario(const AuditParams& p, bool prototype) {
   return d;
 }
 
-/// The three-way execution-mode equivalence gate: classic vs --parallel=1
-/// vs --parallel=<workers>, on the fig3 (vanilla) and fig5 (prototype +
-/// co-scheduler) scenario shapes.
+/// The execution-mode equivalence gate: classic vs --parallel=1 vs
+/// --parallel=<workers> (per-pair planner) vs --parallel=<workers> under
+/// the legacy global-window planner, on the fig3 (vanilla) and fig5
+/// (prototype + co-scheduler) scenario shapes. The fourth digest pins the
+/// per-pair window planner to the one-global-window schedule it refactored
+/// away — any window-schedule dependence in the workload shows up here.
 int run_parallel_equivalence(const AuditParams& p, int workers) {
   int rc = 0;
   for (const bool prototype : {false, true}) {
@@ -240,6 +243,10 @@ int run_parallel_equivalence(const AuditParams& p, int workers) {
     std::cout << " parallel=" << workers << "..." << std::flush;
     cfg.parallel = workers;
     const core::CanonicalDigest parn = core::run_canonical(cfg, factory);
+    std::cout << " parallel=" << workers << "/global..." << std::flush;
+    cfg.planner = sim::PlannerMode::Global;
+    const core::CanonicalDigest parg = core::run_canonical(cfg, factory);
+    cfg.planner = sim::PlannerMode::PerPair;
 
     std::cout << "\n  legacy     hash=" << std::hex << legacy.hash << std::dec
               << " completed=" << legacy.completed
@@ -248,12 +255,16 @@ int run_parallel_equivalence(const AuditParams& p, int workers) {
               << " completed=" << par1.completed << " events=" << par1.events
               << "\n  parallel=" << workers << " hash=" << std::hex
               << parn.hash << std::dec << " completed=" << parn.completed
-              << " events=" << parn.events << "\n";
+              << " events=" << parn.events << "\n  par" << workers
+              << "/global hash=" << std::hex << parg.hash << std::dec
+              << " completed=" << parg.completed << " events=" << parg.events
+              << "\n";
     ScenarioRow row;
     row.name = name;
     row.hash = legacy.hash;
     row.events = legacy.events;
-    row.completed = legacy.completed && par1.completed && parn.completed;
+    row.completed = legacy.completed && par1.completed && parn.completed &&
+                    parg.completed;
     if (!row.completed) {
       std::cout << "  FAIL: a mode did not run the job to completion\n";
       g_rows.push_back(row);
@@ -261,8 +272,10 @@ int run_parallel_equivalence(const AuditParams& p, int workers) {
       continue;
     }
     if (legacy.hash != par1.hash || par1.hash != parn.hash ||
+        parn.hash != parg.hash ||
         legacy.elapsed.count() != par1.elapsed.count() ||
-        par1.elapsed.count() != parn.elapsed.count()) {
+        par1.elapsed.count() != parn.elapsed.count() ||
+        parn.elapsed.count() != parg.elapsed.count()) {
       std::cout << "  FAIL: execution modes diverged\n";
       g_rows.push_back(row);
       rc = 1;
@@ -270,7 +283,7 @@ int run_parallel_equivalence(const AuditParams& p, int workers) {
     }
     row.ok = true;
     g_rows.push_back(row);
-    std::cout << "  OK: all three execution modes are bit-identical\n";
+    std::cout << "  OK: all four execution modes are bit-identical\n";
   }
   if (rc == 0) std::cout << "pasched-audit: PASS (parallel equivalence)\n";
   return rc;

@@ -119,7 +119,8 @@ int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const std::vector<std::string> typos = flags.unknown(
       {"root", "compile-db", "only", "report", "json", "graph", "list-rules",
-       "plant", "fixtures", "ledger", "nodes", "workers", "calls", "seed"});
+       "plant", "fixtures", "ledger", "nodes", "workers", "calls", "seed",
+       "max-barrier-wait-share"});
   if (!typos.empty()) {
     std::cerr << "pasched-contend: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
@@ -127,7 +128,8 @@ int main(int argc, char** argv) {
                  " [--only=PSL50x[,...]] [--report=FILE] [--json=FILE]"
                  " [--graph] [--list-rules] [files...]\n"
                  "       pasched-contend --ledger [--nodes=N] [--workers=N]"
-                 " [--calls=N] [--seed=N] [--json=FILE]\n"
+                 " [--calls=N] [--seed=N] [--json=FILE]"
+                 " [--max-barrier-wait-share=F]\n"
                  "       pasched-contend --plant [--fixtures=DIR]\n";
     return 64;
   }
@@ -262,6 +264,18 @@ int main(int argc, char** argv) {
     }
     out << js;
     std::cout << "json written to " << json_file << "\n";
+  }
+
+  // Scalability regression gate (the nightly CI wiring): the ledger's
+  // barrier_wait_share is the fraction of measured wait the global round
+  // barrier still carries. The per-pair planner exists to keep it low —
+  // fail loudly if a regression pushes serialization back onto the barrier.
+  const double max_share = flags.get_double("max-barrier-wait-share", -1.0);
+  if (max_share >= 0.0 && ledger_ran &&
+      lrep.barrier_wait_share > max_share) {
+    std::cout << "pasched-contend: FAIL (barrier_wait_share "
+              << lrep.barrier_wait_share << " > " << max_share << ")\n";
+    return 1;
   }
 
   if (rep.clean()) {

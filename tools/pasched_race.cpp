@@ -137,7 +137,9 @@ int run_one(const Scenario& s, const Params& p, std::ostream& report) {
     const race::AuditRun run = race::run_audited(s.cfg, s.factory, opt);
     std::cout << " hash=" << std::hex << run.digest.hash << std::dec
               << " posts=" << run.stats.posts << " admits=" << run.stats.admits
-              << " windows=" << run.stats.windows << "\n";
+              << " windows=" << run.stats.windows
+              << " horizon_publishes=" << run.stats.horizon_publishes
+              << " horizon_waits=" << run.stats.horizon_waits << "\n";
     findings = run.findings;
   }
 

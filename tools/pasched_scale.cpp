@@ -21,7 +21,15 @@
 //   ./pasched-scale [--scenario=fig3|fig5|both] [--nodes=N]
 //       [--tasks-per-node=N] [--calls=N] [--seed=N] [--workers=N]
 //       [--target-workers=N] [--target-speedup=X]
+//       [--planner=perpair|global] [--batch=N]
 //       [--report=FILE] [--json=FILE]
+//
+// --planner/--batch select the executor's window planner (global = the
+// legacy one-window-per-round schedule; CI divides the two runs' sync-round
+// counts for the scalability smoke). When the validation build can install
+// a contention ledger, the barrier-cost model prices rounds with the
+// *measured* per-round barrier wait instead of the default constant
+// (reported as barrier_cost_source = "measured").
 //
 // --plant-unsound-bound inflates every matrix claim 4x before the run: real
 // deliveries then undercut the planted certificate and the monitor must
@@ -133,13 +141,14 @@ int main(int argc, char** argv) {
   const std::vector<std::string> typos = flags.unknown(
       {"scenario", "workers", "nodes", "tasks-per-node", "calls", "seed",
        "target-workers", "target-speedup", "plant-unsound-bound", "report",
-       "json"});
+       "json", "planner", "batch"});
   if (!typos.empty()) {
     std::cerr << "pasched-scale: unknown flag(s):";
     for (const std::string& t : typos) std::cerr << " --" << t;
     std::cerr << "\nusage: pasched-scale [--scenario=fig3|fig5|both]"
                  " [--nodes=N] [--tasks-per-node=N] [--calls=N] [--seed=N]"
                  " [--workers=N] [--target-workers=N] [--target-speedup=X]"
+                 " [--planner=perpair|global] [--batch=N]"
                  " [--plant-unsound-bound] [--report=FILE] [--json=FILE]\n";
     return 64;
   }
@@ -158,6 +167,19 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("target-workers", p.opts.target_workers));
   p.opts.target_speedup =
       flags.get_double("target-speedup", p.opts.target_speedup);
+  const std::string planner = flags.get("planner", "perpair");
+  if (planner == "global") {
+    p.opts.planner = sim::PlannerMode::Global;
+  } else if (planner != "perpair") {
+    std::cerr << "pasched-scale: --planner must be perpair or global\n";
+    return 64;
+  }
+  p.opts.window_batch =
+      static_cast<int>(flags.get_int("batch", p.opts.window_batch));
+  if (p.opts.window_batch < 1) {
+    std::cerr << "pasched-scale: --batch must be positive\n";
+    return 64;
+  }
   if (p.nodes < 2 || p.tasks_per_node < 1 || p.calls < 1 || p.workers < 1 ||
       p.opts.target_workers < 1) {
     std::cerr << "pasched-scale: --nodes must be >= 2 (a single shard has "
