@@ -35,8 +35,10 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "alloc/ledger.hpp"
 #include "common.hpp"
 #include "sim/engine.hpp"
 #include "sim/shard.hpp"
@@ -76,6 +78,26 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// One self-rescheduling chain step. Trivially copyable and well inside
+/// Engine::Callback's inline buffer, so re-arming copies a few words into
+/// the event slot — no per-event heap traffic from the workload itself (a
+/// captured std::function here used to malloc on every single event,
+/// drowning the engine cost this bench exists to measure).
+struct ChainTick {
+  sim::Engine* e;
+  std::uint64_t* fired;
+  std::uint64_t chains;
+  std::uint64_t budget;
+  sim::Duration spacing;
+
+  void operator()() const {
+    if (++*fired + chains <= budget) e->schedule_after(spacing, *this);
+  }
+};
+static_assert(std::is_trivially_copyable_v<ChainTick> &&
+                  sizeof(ChainTick) <= 48,
+              "ChainTick must stay inline in Engine::Callback");
+
 /// Arms `chains` self-rescheduling chains on `e`; each fire bumps the
 /// shared counter and re-arms `spacing` later while budget remains, so
 /// both modes execute the same event stream. Returns the fired count.
@@ -83,10 +105,8 @@ std::uint64_t drive_chains(sim::Engine& e, const Config& cfg,
                            const std::function<void(sim::Time)>& run_to) {
   std::uint64_t fired = 0;
   const sim::Duration spacing = sim::Duration::ns(cfg.spacing_ns);
-  std::function<void()> tick = [&] {
-    if (++fired + static_cast<std::uint64_t>(cfg.chains) <= cfg.events)
-      e.schedule_after(spacing, tick);
-  };
+  const ChainTick tick{&e, &fired, static_cast<std::uint64_t>(cfg.chains),
+                       cfg.events, spacing};
   for (int c = 0; c < cfg.chains; ++c) e.schedule_at(e.now() + spacing, tick);
   // Horizon covering every re-arm: events/chains steps plus slack.
   const std::int64_t steps = static_cast<std::int64_t>(
@@ -146,6 +166,50 @@ double run_parallelN_once(const Config& cfg, int nodes) {
          seconds_since(t0);
 }
 
+/// Allocation columns for the engine hot path, from one instrumented
+/// legacy pass with the alloc ledger counting (throughput is NOT measured
+/// on this pass — counting perturbs it). `hot_window_allocs` sums
+/// hot-phase allocations on Core (engine bookkeeping) sites: the event
+/// slab / scratch-reuse discipline holds it at zero, and the nightly CI
+/// gate fails if a regression puts malloc back on the event path.
+struct AllocProbe {
+  bool enabled = false;
+  std::uint64_t events = 0;
+  std::uint64_t hot_window_allocs = 0;
+  std::uint64_t total_allocs = 0;
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(total_allocs) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+  [[nodiscard]] double bytes_per_event() const {
+    return events > 0 ? static_cast<double>(total_bytes) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
+AllocProbe run_alloc_probe(const Config& cfg) {
+  AllocProbe p;
+  if (!alloc::Ledger::available()) return p;
+  alloc::Ledger ledger;
+  sim::Engine e;
+  ledger.reset();
+  ledger.install();
+  p.events = drive_chains(e, cfg,
+                          [&](sim::Time until) { e.run_until(until); });
+  ledger.remove();
+  const alloc::AllocLedgerReport rep = ledger.report();
+  p.enabled = rep.enabled;
+  p.hot_window_allocs = rep.hot_window_allocs;
+  p.total_allocs = rep.total_allocs;
+  p.total_bytes = rep.total_bytes;
+  ledger.reset();
+  return p;
+}
+
 ModeResult measure(const std::string& mode, const Config& cfg, int cores,
                    const std::function<double()>& once) {
   ModeResult r;
@@ -154,6 +218,11 @@ ModeResult measure(const std::string& mode, const Config& cfg, int cores,
   r.cores = cores;
   const unsigned hw = std::thread::hardware_concurrency();
   r.speedup_valid = hw > 0 && static_cast<unsigned>(cores) <= hw;
+  if (!r.speedup_valid)
+    std::cerr << "micro_engine: WARNING: mode " << mode << " wants " << cores
+              << " workers but the machine has " << hw
+              << " hardware threads; its speedup column measures "
+                 "oversubscription, not the partitioned core\n";
   for (int i = 0; i < cfg.repeats; ++i) {
     const double eps = once();
     r.runs_events_per_sec.push_back(eps);
@@ -225,6 +294,16 @@ int main(int argc, char** argv) {
   const ModeResult& par1 = modes[1];
   const double ratio = legacy.median > 0 ? par1.median / legacy.median : 0;
 
+  const AllocProbe ap = run_alloc_probe(cfg);
+  if (ap.enabled)
+    std::cout << "alloc probe: " << ap.events << " events, "
+              << ap.total_allocs << " allocs (" << ap.total_bytes
+              << " B) total, hot_window_allocs=" << ap.hot_window_allocs
+              << "\n";
+  else
+    std::cout << "alloc probe: skipped (ledger unavailable under "
+                 "-DPASCHED_VALIDATE=OFF)\n";
+
   std::cout << "\nmode        cores  median_ev/s  ev/s-per-core  valid\n";
   for (const ModeResult& m : modes)
     std::cout << m.mode
@@ -247,7 +326,12 @@ int main(int argc, char** argv) {
      << "  \"modes\": [\n";
   for (std::size_t i = 0; i < modes.size(); ++i)
     emit_mode(os, modes[i], i + 1 == modes.size());
-  os << "  ],\n  \"parallel1_over_legacy_median\": " << ratio << "\n}\n";
+  os << "  ],\n  \"parallel1_over_legacy_median\": " << ratio << ",\n"
+     << "  \"alloc\": {\"ledger_enabled\": "
+     << (ap.enabled ? "true" : "false") << ", \"events\": " << ap.events
+     << ", \"allocs_per_event\": " << ap.allocs_per_event()
+     << ", \"bytes_per_event\": " << ap.bytes_per_event()
+     << ", \"hot_window_allocs\": " << ap.hot_window_allocs << "}\n}\n";
   std::ofstream out(cfg.out);
   out << os.str();
   std::cout << os.str() << "written to " << cfg.out << "\n";

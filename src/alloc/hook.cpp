@@ -1,0 +1,236 @@
+// Global operator new/delete replacement backing alloc::Ledger. Compiled to
+// an empty translation unit under -DPASCHED_VALIDATE=OFF; under ON this TU
+// is pulled into a binary only when something references the hook_* control
+// functions below — i.e. only binaries that actually use alloc::Ledger
+// (ledger.cpp is the sole caller) pay for the replacement. Binaries that
+// link pasched_alloc for the static rules alone keep the stock allocator.
+//
+// Design:
+//   * operator new -> std::malloc, operator delete -> std::free, aligned
+//     variants via posix_memalign (free() releases those too). Keeping the
+//     backing allocator the libc one keeps ASan's malloc/free interception
+//     — and therefore leak checking — consistent.
+//   * Counters live in per-thread ThreadBlocks of plain (non-atomic)
+//     uint64s: only the owner thread writes them, and aggregation happens
+//     from Ledger::report() after workers have joined (the same contract as
+//     the window planner's per-shard counters). No locks, no atomics, no
+//     allocation on the recording path.
+//   * ThreadBlocks are owned by an intentionally-leaked registry vector so
+//     blocks survive thread exit (their numbers are part of the run's
+//     ledger) and teardown order can't bite; the vector stays reachable
+//     through a function-local static, so LeakSanitizer stays quiet.
+//   * tl_in_hook guards reentrancy: creating a ThreadBlock itself
+//     allocates, and those allocations must not recurse into attribution.
+//   * A single relaxed atomic gate (hook_set_counting) keeps the replaced
+//     operators near-free while no ledger run is active.
+#include "alloc/hook_detail.hpp"
+#include "util/allocgate.hpp"
+
+#if PASCHED_VALIDATE_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace pasched::alloc::detail {
+
+struct ThreadBlock {
+  SiteCell cells[util::kMaxAllocSites];
+};
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+
+std::mutex& blocks_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Leaked on purpose (reachable via the static pointer): see file comment.
+// Blocks are malloc'd directly (not operator new) so this TU's allocator
+// replacement and the registry's own storage never interleave.
+std::vector<ThreadBlock*>& blocks() {
+  static std::vector<ThreadBlock*>* v = new std::vector<ThreadBlock*>();
+  return *v;
+}
+
+thread_local ThreadBlock* tl_block = nullptr;
+thread_local bool tl_in_hook = false;
+
+ThreadBlock* block_for_thread() noexcept {
+  if (tl_block != nullptr) return tl_block;
+  // Reentrancy-guarded by the caller: these allocations go uncounted.
+  void* raw = std::malloc(sizeof(ThreadBlock));
+  if (raw == nullptr) return nullptr;
+  ThreadBlock* b = new (raw) ThreadBlock();
+  try {
+    const std::scoped_lock lk(blocks_mu());
+    blocks().push_back(b);
+  } catch (...) {
+    std::free(raw);
+    return nullptr;
+  }
+  tl_block = b;
+  return b;
+}
+
+}  // namespace
+
+void note_alloc(std::size_t size) noexcept {
+  if (!g_counting.load(std::memory_order_relaxed)) return;
+  if (tl_in_hook) return;
+  tl_in_hook = true;
+  ThreadBlock* b = block_for_thread();
+  if (b != nullptr) {
+    int site = util::detail::tl_alloc_site;
+    if (site < 0 || site >= util::kMaxAllocSites) site = 0;
+    const int phase = static_cast<int>(util::detail::tl_alloc_phase);
+    SiteCell& c = b->cells[site];
+    c.allocs[phase] += 1;
+    c.bytes[phase] += size;
+  }
+  tl_in_hook = false;
+}
+
+void note_free() noexcept {
+  if (!g_counting.load(std::memory_order_relaxed)) return;
+  if (tl_in_hook) return;
+  tl_in_hook = true;
+  ThreadBlock* b = block_for_thread();
+  if (b != nullptr) {
+    int site = util::detail::tl_alloc_site;
+    if (site < 0 || site >= util::kMaxAllocSites) site = 0;
+    const int phase = static_cast<int>(util::detail::tl_alloc_phase);
+    b->cells[site].frees[phase] += 1;
+  }
+  tl_in_hook = false;
+}
+
+void hook_set_counting(bool on) noexcept {
+  g_counting.store(on, std::memory_order_relaxed);
+}
+
+// Zero every thread's counters. Caller contract (Ledger::reset): no
+// instrumented thread is allocating concurrently.
+void hook_reset() noexcept {
+  const std::scoped_lock lk(blocks_mu());
+  for (ThreadBlock* b : blocks())
+    for (SiteCell& c : b->cells) c = SiteCell{};
+}
+
+// Sum all thread blocks into `out[kMaxAllocSites]`. Caller contract
+// (Ledger::report): worker threads whose numbers matter have joined.
+void hook_snapshot(SiteCell* out) noexcept {
+  for (int s = 0; s < util::kMaxAllocSites; ++s) out[s] = SiteCell{};
+  const std::scoped_lock lk(blocks_mu());
+  for (const ThreadBlock* b : blocks()) {
+    for (int s = 0; s < util::kMaxAllocSites; ++s) {
+      for (int p = 0; p < 2; ++p) {
+        out[s].allocs[p] += b->cells[s].allocs[p];
+        out[s].bytes[p] += b->cells[s].bytes[p];
+        out[s].frees[p] += b->cells[s].frees[p];
+      }
+    }
+  }
+}
+
+}  // namespace pasched::alloc::detail
+
+namespace {
+
+void* hooked_alloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) pasched::alloc::detail::note_alloc(size);
+  return p;
+}
+
+void* hooked_aligned_alloc(std::size_t size, std::align_val_t al) noexcept {
+  std::size_t a = static_cast<std::size_t>(al);
+  if (a < sizeof(void*)) a = sizeof(void*);  // posix_memalign's floor
+  void* p = nullptr;
+  if (posix_memalign(&p, a, size != 0 ? size : 1) != 0) return nullptr;
+  pasched::alloc::detail::note_alloc(size);
+  return p;
+}
+
+void hooked_free(void* p) noexcept {
+  if (p == nullptr) return;
+  pasched::alloc::detail::note_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = hooked_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = hooked_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return hooked_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return hooked_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  void* p = hooked_aligned_alloc(size, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  void* p = hooked_aligned_alloc(size, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return hooked_aligned_alloc(size, al);
+}
+
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return hooked_aligned_alloc(size, al);
+}
+
+void operator delete(void* p) noexcept { hooked_free(p); }
+void operator delete[](void* p) noexcept { hooked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { hooked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { hooked_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { hooked_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { hooked_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  hooked_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  hooked_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  hooked_free(p);
+}
+
+#endif  // PASCHED_VALIDATE_ENABLED

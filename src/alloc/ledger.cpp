@@ -1,0 +1,173 @@
+#include "alloc/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+#if PASCHED_VALIDATE_ENABLED
+// Referencing hook_detail symbols is what pulls the operator new/delete
+// replacement into a binary: only Ledger users get the hook.
+#include "alloc/hook_detail.hpp"
+#endif
+
+namespace pasched::alloc {
+
+void Ledger::install() noexcept {
+#if PASCHED_VALIDATE_ENABLED
+  detail::hook_set_counting(true);
+#endif
+}
+
+void Ledger::remove() noexcept {
+#if PASCHED_VALIDATE_ENABLED
+  detail::hook_set_counting(false);
+#endif
+}
+
+void Ledger::reset() noexcept {
+#if PASCHED_VALIDATE_ENABLED
+  detail::hook_reset();
+#endif
+}
+
+AllocLedgerReport Ledger::report() const {
+  AllocLedgerReport rep;
+#if PASCHED_VALIDATE_ENABLED
+  rep.enabled = true;
+  detail::SiteCell cells[util::kMaxAllocSites];
+  detail::hook_snapshot(cells);
+  const int n = std::min(util::alloc_site_count(), util::kMaxAllocSites);
+  constexpr int kCold = static_cast<int>(util::AllocPhase::Cold);
+  constexpr int kHot = static_cast<int>(util::AllocPhase::Hot);
+  for (int i = 0; i < n; ++i) {
+    const detail::SiteCell& c = cells[i];
+    SiteAllocRow row;
+    row.name = util::alloc_site_name(i);
+    row.kind = util::alloc_site_kind(i);
+    row.hot_allocs = c.allocs[kHot];
+    row.hot_bytes = c.bytes[kHot];
+    row.hot_frees = c.frees[kHot];
+    row.cold_allocs = c.allocs[kCold];
+    row.cold_bytes = c.bytes[kCold];
+    row.cold_frees = c.frees[kCold];
+    const std::uint64_t touched = row.hot_allocs + row.hot_frees +
+                                  row.cold_allocs + row.cold_frees;
+    if (touched == 0) continue;  // registered but never crossed
+    rep.total_allocs += row.hot_allocs + row.cold_allocs;
+    rep.total_bytes += row.hot_bytes + row.cold_bytes;
+    if (row.kind == util::AllocSiteKind::Core) {
+      rep.hot_window_allocs += row.hot_allocs;
+      rep.hot_window_bytes += row.hot_bytes;
+    } else {
+      rep.dispatch_hot_allocs += row.hot_allocs;
+    }
+    rep.sites.push_back(std::move(row));
+  }
+  std::sort(rep.sites.begin(), rep.sites.end(),
+            [](const SiteAllocRow& a, const SiteAllocRow& b) {
+              if (a.hot_allocs != b.hot_allocs)
+                return a.hot_allocs > b.hot_allocs;
+              return a.name < b.name;
+            });
+#endif
+  return rep;
+}
+
+std::vector<analysis::Diagnostic> Ledger::check_claims(
+    const std::vector<AllocClaim>& claims) const {
+  std::vector<analysis::Diagnostic> out;
+#if PASCHED_VALIDATE_ENABLED
+  const AllocLedgerReport rep = report();
+  for (const AllocClaim& c : claims) {
+    for (const SiteAllocRow& row : rep.sites) {
+      if (row.name != c.function) continue;
+      // rep.sites only holds observed rows, so reaching here means the
+      // site ran; Dispatch rows never carry an engine claim.
+      if (row.kind == util::AllocSiteKind::Core && row.hot_allocs > 0) {
+        analysis::Diagnostic d;
+        d.rule = "PSL606";
+        d.severity = analysis::Severity::Error;
+        d.subject = c.file + ":" + std::to_string(c.line);
+        d.message = "allocation-free claim refuted: `" + c.function +
+                    "` was statically certified allocation-free (PSL605) "
+                    "but the allocation ledger charged it " +
+                    std::to_string(row.hot_allocs) +
+                    " hot-window allocation(s) (" +
+                    std::to_string(row.hot_bytes) + " bytes) at runtime";
+        d.fix_hint =
+            "route the growth through a PASCHED_ALLOC_COLD_REGION helper "
+            "(reserve_cold, grow_slab) if it is sanctioned amortized "
+            "growth, or remove the allocation from the hot path; if the "
+            "allocation belongs to callback code, re-scope it under a "
+            "Dispatch site at the callback boundary";
+        out.push_back(std::move(d));
+      }
+      break;
+    }
+  }
+#else
+  (void)claims;
+#endif
+  return out;
+}
+
+std::string AllocLedgerReport::str() const {
+  std::ostringstream os;
+  if (!enabled) {
+    os << "allocation ledger: unavailable (built with -DPASCHED_VALIDATE=OFF)"
+       << "\n";
+    return os.str();
+  }
+  os << "allocation ledger: " << sites.size() << " active site(s), "
+     << "hot-window allocs " << hot_window_allocs << " (" << hot_window_bytes
+     << " B, core sites), dispatch hot allocs " << dispatch_hot_allocs
+     << ", total " << total_allocs << " allocs / " << total_bytes << " B\n";
+  util::Table t({"site", "kind", "hot_allocs", "hot_bytes", "hot_frees",
+                 "cold_allocs", "cold_bytes", "cold_frees"});
+  for (const SiteAllocRow& s : sites) {
+    t.add_row({s.name,
+               s.kind == util::AllocSiteKind::Core ? "core" : "dispatch",
+               util::Table::cell(static_cast<unsigned long long>(s.hot_allocs)),
+               util::Table::cell(static_cast<unsigned long long>(s.hot_bytes)),
+               util::Table::cell(static_cast<unsigned long long>(s.hot_frees)),
+               util::Table::cell(
+                   static_cast<unsigned long long>(s.cold_allocs)),
+               util::Table::cell(static_cast<unsigned long long>(s.cold_bytes)),
+               util::Table::cell(
+                   static_cast<unsigned long long>(s.cold_frees))});
+  }
+  os << t.render();
+  return os.str();
+}
+
+std::string AllocLedgerReport::json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) + 2, ' ');
+  const std::string pad4(static_cast<std::size_t>(indent) + 4, ' ');
+  std::ostringstream os;
+  os << "{\n";
+  os << pad2 << "\"enabled\": " << (enabled ? "true" : "false") << ",\n";
+  os << pad2 << "\"hot_window_allocs\": " << hot_window_allocs << ",\n";
+  os << pad2 << "\"hot_window_bytes\": " << hot_window_bytes << ",\n";
+  os << pad2 << "\"dispatch_hot_allocs\": " << dispatch_hot_allocs << ",\n";
+  os << pad2 << "\"total_allocs\": " << total_allocs << ",\n";
+  os << pad2 << "\"total_bytes\": " << total_bytes << ",\n";
+  os << pad2 << "\"sites\": [";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const SiteAllocRow& s = sites[i];
+    os << (i == 0 ? "\n" : ",\n") << pad4 << "{\"site\": \""
+       << analysis::json_escape(s.name) << "\", \"kind\": \""
+       << (s.kind == util::AllocSiteKind::Core ? "core" : "dispatch")
+       << "\", \"hot_allocs\": " << s.hot_allocs
+       << ", \"hot_bytes\": " << s.hot_bytes
+       << ", \"hot_frees\": " << s.hot_frees
+       << ", \"cold_allocs\": " << s.cold_allocs
+       << ", \"cold_bytes\": " << s.cold_bytes
+       << ", \"cold_frees\": " << s.cold_frees << "}";
+  }
+  os << (sites.empty() ? "]" : "\n" + pad2 + "]") << "\n" << pad << "}";
+  return os.str();
+}
+
+}  // namespace pasched::alloc

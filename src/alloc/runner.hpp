@@ -1,0 +1,51 @@
+// Tree-level driver for the pasched-alloc static analyzer: discovery
+// (shared with srclint) → lex → PSL601–604 file rules → ordered report plus
+// the PSL605 allocation-free-claim list the runtime allocation ledger
+// verifies (PSL606 on refutation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "alloc/ledger.hpp"
+#include "alloc/rules.hpp"
+#include "analysis/diagnostic.hpp"
+
+namespace pasched::alloc {
+
+struct AllocOptions {
+  std::string root = ".";  // tree to scan (repo root or fixture root)
+  std::string compile_db;  // optional compile_commands.json
+  AllocConfig cfg;
+};
+
+struct AllocStats {
+  std::size_t files_scanned = 0;
+  std::size_t files_in_scope = 0;
+  std::size_t functions = 0;
+  std::size_t hot_functions = 0;
+  std::size_t arena_types = 0;
+  int suppressions_honored = 0;
+};
+
+struct AllocReport {
+  std::vector<analysis::Diagnostic> findings;  // sorted by (subject, rule)
+  std::vector<AllocClaim> claims;  // PSL605 regions, ledger-checked
+  AllocStats stats;
+  std::string origin;  // discovery origin, see srclint/compiledb.hpp
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  [[nodiscard]] std::string str() const;
+  /// Machine-readable report for the CI artifact (schema/tool header).
+  [[nodiscard]] std::string json() const;
+};
+
+/// Scans every discovered file under opts.root (scope-filtered).
+[[nodiscard]] AllocReport run_tree(const AllocOptions& opts);
+
+/// Scans an explicit set of root-relative paths (CLI args, fixture tests).
+[[nodiscard]] AllocReport run_files(const AllocOptions& opts,
+                                    const std::vector<std::string>& rels);
+
+}  // namespace pasched::alloc

@@ -214,6 +214,43 @@ const std::vector<RuleInfo>& all_rules() {
        "from multiple domains at runtime: the PSL505 claim (and any lock "
        "removal built on it) is refuted by the contention ledger",
        "§5 (certify-then-verify: runtime witnesses police static claims)"},
+      // PSL6xx: pasched-alloc — allocation & memory-layout discipline on
+      // the event hot path, certified statically (601-605) and verified by
+      // the runtime allocation ledger (606).
+      {"PSL601", Severity::Error,
+       "the per-event hot path (PASCHED_HOT functions and the Engine event "
+       "lifecycle) must not allocate: no new/malloc/make_unique/make_shared "
+       "and no owning-container locals — an allocator round-trip per event "
+       "dwarfs the event itself and serializes shards on the heap lock",
+       "§3.1.1 (sub-quantum event cost budgets leave no room for malloc)"},
+      {"PSL602", Severity::Error,
+       "a container grown on the hot path must follow the reserve/"
+       "reused-scratch discipline (reserve in cold code, clear-for-reuse, "
+       "or util::reserve_cold): undisciplined push_back can reallocate in "
+       "steady state",
+       "§3.1.1 (amortized growth is sanctioned only outside the window)"},
+      {"PSL603", Severity::Warning,
+       "event- and shard-resident types (heap items, slots, cross-shard "
+       "envelopes) should hold fixed-size values, not owning containers, "
+       "smart pointers, or raw pointers: each indirection is a per-event "
+       "cache miss outside the slab's footprint",
+       "§3.2 (per-node state must stay physically compact to scale)"},
+      {"PSL604", Severity::Error,
+       "a PASCHED_ARENA-annotated type must honor the arena contract: "
+       "trivially destructible, trivially copyable, no owning members — "
+       "slabs skip per-element destructors and relocate with memcpy",
+       "§3.2 (arena residency is the engine's slab storage contract)"},
+      {"PSL605", Severity::Info,
+       "a PASCHED_HOT function with no PSL601/PSL602 hit (suppressed ones "
+       "included) is statically certified an allocation-free region; the "
+       "claim is machine-readable and joined to the runtime allocation "
+       "ledger by qualified function name",
+       "§5 (certify-then-verify: static claims become runtime contracts)"},
+      {"PSL606", Severity::Error,
+       "a statically certified allocation-free region recorded hot-window "
+       "allocations at runtime: the PSL605 claim is refuted by the "
+       "allocation ledger",
+       "§5 (certify-then-verify: runtime witnesses police static claims)"},
   };
   return kRules;
 }

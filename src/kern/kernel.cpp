@@ -5,6 +5,7 @@
 #include "check/check.hpp"
 #include "check/transitions.hpp"
 #include "sim/choice.hpp"
+#include "util/allocgate.hpp"
 #include "util/assert.hpp"
 #include "util/hotpath.hpp"
 
@@ -70,6 +71,11 @@ Thread& Kernel::create_thread(ThreadSpec spec, ThreadClient& client) {
   t->penalty_unit_ = tun_.penalty_unit;
   Thread& ref = *t;
   threads_.push_back(std::move(t));
+  // Ready queues are bounded by the thread count (a thread sits in at most
+  // one queue): pre-size them on this cold path so enqueue()'s push_back
+  // never reallocates mid-tick.
+  util::reserve_cold(globalq_, threads_.size());
+  for (auto& c : cpus_) util::reserve_cold(c.runq, threads_.size());
   return ref;
 }
 
@@ -453,6 +459,7 @@ void Kernel::arm_tick(CpuId cpu) {
 }
 
 PASCHED_HOT void Kernel::on_tick(CpuId cpu) {
+  PASCHED_ALLOC_HOT_SCOPE("Kernel::on_tick");
   Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
   ++acct_.ticks_taken;
   const Duration cost = tun_.effective_tick_cost();
@@ -472,24 +479,33 @@ PASCHED_HOT void Kernel::on_tick(CpuId cpu) {
   }
 
   // Fire due timer callouts (batched to tick boundaries — the "big tick"
-  // batching effect of §3.1.1 follows directly).
+  // batching effect of §3.1.1 follows directly). The due list is a member
+  // scratch buffer (cleared per tick, capacity persists) so steady-state
+  // ticks stay allocation-free.
   const Time lnow = local_now();
   auto& callouts = c.callouts;
-  std::vector<Cpu::Callout> due;
+  due_scratch_.clear();
+  util::reserve_cold(due_scratch_, callouts.size());
   for (std::size_t i = 0; i < callouts.size();) {
     if (callouts[i].due_local <= lnow) {
-      due.push_back(std::move(callouts[i]));
+      due_scratch_.push_back(std::move(callouts[i]));
       callouts[i] = std::move(callouts.back());
       callouts.pop_back();
     } else {
       ++i;
     }
   }
-  std::sort(due.begin(), due.end(), [](const auto& a, const auto& b) {
-    if (a.due_local != b.due_local) return a.due_local < b.due_local;
-    return a.seq < b.seq;
-  });
-  for (auto& co : due) co.fn();
+  std::sort(due_scratch_.begin(), due_scratch_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.due_local != b.due_local) return a.due_local < b.due_local;
+              return a.seq < b.seq;
+            });
+  {
+    // Callout bodies are client/daemon code: their allocations belong to
+    // the workload's dispatch row, not to the kernel's tick accounting.
+    PASCHED_ALLOC_DISPATCH_SCOPE("Kernel.callout");
+    for (auto& co : due_scratch_) co.fn();
+  }
 
   // Once per decay period (driven by CPU 0), age recent-CPU usage.
   if (cpu == 0 && lnow - last_decay_ >= tun_.decay_period) {

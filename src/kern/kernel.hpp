@@ -188,6 +188,10 @@ class Kernel {
   sim::Time last_decay_{};
   std::uint64_t seq_ = 0;
   std::uint64_t callout_seq_ = 0;
+  // Reused per-tick scratch for due callouts: cleared each on_tick(),
+  // capacity persists (grown via util::reserve_cold only), so steady-state
+  // tick dispatch is allocation-free.
+  std::vector<Cpu::Callout> due_scratch_;
   Accounting acct_;
   SchedObserver* observer_ = nullptr;
   int next_tid_ = 1;

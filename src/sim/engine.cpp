@@ -2,49 +2,129 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/check.hpp"
-#include "util/hotpath.hpp"
 #include "sim/random.hpp"
+#include "util/allocgate.hpp"
 #include "util/assert.hpp"
+#include "util/hotpath.hpp"
 
 namespace pasched::sim {
 
-PASCHED_HOT std::uint32_t Engine::acquire_slot() {
-  if (!free_.empty()) {
-    const std::uint32_t idx = free_.back();
-    free_.pop_back();
-    PASCHED_CHECK_MSG(!slots_[idx].armed && !slots_[idx].fn,
-                      "free-list slot still armed or holding a callback");
-    return idx;
+void Engine::grow_slab() {
+  // Sanctioned amortized growth: every buffer the hot path pushes into is
+  // (re)sized here, inside a cold allocation region, so the per-event code
+  // never reallocates. free_/heap_/scratch capacities track the slot count
+  // — one heap entry and one free-list entry per slot is the worst case.
+  PASCHED_ALLOC_COLD_REGION();
+  const std::size_t old = slots_.size();
+  const std::size_t add = old == 0 ? 64 : old;  // one chunk, then doubling
+  slots_.resize(old + add);
+  free_.reserve(slots_.size());
+  heap_.reserve(slots_.size());
+  tied_scratch_.reserve(slots_.size());
+  cands_scratch_.reserve(slots_.size());
+  // New indices go on the free list high-to-low so back() hands out the
+  // lowest index first — the same slot-assignment order the old
+  // emplace_back-per-event scheme produced.
+  for (std::size_t i = slots_.size(); i-- > old;)
+    free_.push_back(static_cast<std::uint32_t>(i));
+}
+
+void Engine::grow_fire_log() {
+  PASCHED_ALLOC_COLD_REGION();
+  fire_log_.reserve(fire_log_.capacity() == 0 ? 1024
+                                              : fire_log_.capacity() * 2);
+}
+
+PASCHED_HOT void Engine::heap_place(std::size_t pos) noexcept {
+  slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+PASCHED_HOT void Engine::sift_up(std::size_t pos) noexcept {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!heap_before(heap_[pos], heap_[parent])) break;
+    std::swap(heap_[pos], heap_[parent]);
+    heap_place(pos);
+    pos = parent;
   }
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+  heap_place(pos);
+}
+
+PASCHED_HOT void Engine::sift_down(std::size_t pos) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = pos;
+    const std::size_t l = 2 * pos + 1;
+    const std::size_t r = 2 * pos + 2;
+    if (l < n && heap_before(heap_[l], heap_[best])) best = l;
+    if (r < n && heap_before(heap_[r], heap_[best])) best = r;
+    if (best == pos) break;
+    std::swap(heap_[pos], heap_[best]);
+    heap_place(pos);
+    pos = best;
+  }
+  heap_place(pos);
+}
+
+PASCHED_HOT void Engine::heap_push(const HeapItem& item) noexcept {
+  heap_.push_back(item);  // never reallocates: capacity from grow_slab()
+  sift_up(heap_.size() - 1);
+}
+
+PASCHED_HOT void Engine::heap_remove_at(std::size_t pos) noexcept {
+  PASCHED_ASSERT(pos < heap_.size());
+  slots_[heap_[pos].slot].heap_pos = kNoHeapPos;
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    heap_.pop_back();
+    heap_place(pos);
+    // The replacement can violate the heap property in at most one
+    // direction; the other call is a no-op.
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+PASCHED_HOT std::uint32_t Engine::acquire_slot() {
+  if (free_.empty()) grow_slab();
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  PASCHED_CHECK_MSG(!slots_[idx].armed && !slots_[idx].fn,
+                    "free-list slot still armed or holding a callback");
+  return idx;
 }
 
 PASCHED_HOT void Engine::release_slot(std::uint32_t idx) noexcept {
   Slot& s = slots_[idx];
   s.fn.reset();
-  ++s.gen;  // invalidate any outstanding EventIds / heap entries
+  ++s.gen;  // invalidate any outstanding EventIds
   s.armed = false;
   s.held = false;
-  free_.push_back(idx);
+  s.heap_pos = kNoHeapPos;
+  free_.push_back(idx);  // never reallocates: capacity from grow_slab()
 }
 
 PASCHED_HOT EventId Engine::schedule_at(Time t, Callback fn) {
+  PASCHED_ALLOC_HOT_SCOPE("Engine::schedule_at");
   PASCHED_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
   const std::uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
   s.fn = std::move(fn);
   s.armed = true;
-  heap_.push_back(HeapItem{t, seq_++, idx, s.gen});
-  std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+  heap_push(HeapItem{t, seq_++, idx, s.gen});
   ++live_;
   return EventId{idx, s.gen};
 }
 
 PASCHED_HOT void Engine::cancel(EventId id) {
+  PASCHED_ALLOC_HOT_SCOPE("Engine::cancel");
   if (!id.valid() || id.slot >= slots_.size()) return;
   Slot& s = slots_[id.slot];
   if (s.gen != id.gen || !s.armed) return;  // already fired / cancelled
@@ -54,21 +134,14 @@ PASCHED_HOT void Engine::cancel(EventId id) {
   PASCHED_CHECK_MSG(!s.held,
                     "cancel() of an event held by TieBreak::pick() — the "
                     "cancellation would be lost");
+  if (s.held) return;  // validation off: refuse to corrupt the heap
+  // Lazy at the slot layer (the generation bump already invalidates the
+  // EventId), eager at the heap layer: the position backlink makes the
+  // removal a targeted O(log n) fix-up, so no stale entries accumulate and
+  // no compaction pass exists.
+  heap_remove_at(s.heap_pos);
   --live_;
   release_slot(id.slot);
-  // Cancellation leaves a stale heap entry behind (lazily pruned on pop).
-  // Under cancel-heavy workloads — every tick cancels and re-arms the
-  // running burst — stale entries used to accumulate without bound. Compact
-  // once they outnumber live entries 2:1.
-  if (heap_.size() > 64 && heap_.size() > 2 * live_) compact_heap();
-}
-
-void Engine::compact_heap() {
-  std::erase_if(heap_, [this](const HeapItem& h) {
-    const Slot& s = slots_[h.slot];
-    return s.gen != h.gen || !s.armed;
-  });
-  std::make_heap(heap_.begin(), heap_.end(), HeapLater{});
 }
 
 bool Engine::pending(EventId id) const noexcept {
@@ -84,31 +157,40 @@ PASCHED_HOT void Engine::fire_item(const HeapItem& item) {
   last_fired_t_ = item.t;
   last_fired_seq_ = item.seq;
   advance_clock(item.t);
-  if (fire_log_armed_) fire_log_.push_back(item.t);
+  if (fire_log_armed_) {
+    if (fire_log_.size() == fire_log_.capacity()) grow_fire_log();
+    fire_log_.push_back(item.t);
+  }
   // Move the callback out before releasing so the handler can freely
   // schedule/cancel (including reusing this very slot).
   Callback fn = std::move(s.fn);
   --live_;
   release_slot(item.slot);
   ++processed_;
-  fn();
+  {
+    // Handler code is the workload's, not the engine's: its allocations
+    // are charged to the dispatch row, never against an engine claim.
+    PASCHED_ALLOC_DISPATCH_SCOPE("Engine.callback");
+    fn();
+  }
 }
 
 PASCHED_HOT bool Engine::fire_next() {
   while (!heap_.empty()) {
     const HeapItem top = heap_.front();
     {
+      // Defensive only: indexed removal leaves no stale entries. Kept so a
+      // regression degrades to the legacy skip-on-pop behavior instead of
+      // firing a dead slot.
       const Slot& s = slots_[top.slot];
-      if (s.gen != top.gen || !s.armed) {  // stale (cancelled) entry
-        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-        heap_.pop_back();
+      if (s.gen != top.gen || !s.armed) {
+        heap_remove_at(0);
         continue;
       }
     }
     PASCHED_ASSERT(top.t >= now_);
     if (tie_break_ != nullptr) return fire_tied();
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    heap_.pop_back();
+    heap_remove_at(0);
     // Causality: pops must come off the heap in strictly increasing (t, seq)
     // order — a regression here reorders same-timestamp events and silently
     // breaks the engine's FIFO tie-break guarantee. (With a TieBreak
@@ -124,41 +206,41 @@ PASCHED_HOT bool Engine::fire_next() {
   return false;
 }
 
-bool Engine::fire_tied() {
+PASCHED_HOT bool Engine::fire_tied() {
   // Precondition: heap top is live. Drain every live entry tied at the
-  // minimum timestamp; heap pops deliver them in increasing seq order.
+  // minimum timestamp; indexed pops deliver them in increasing seq order.
   const Time t0 = heap_.front().t;
-  std::vector<HeapItem> tied;
+  tied_scratch_.clear();
   while (!heap_.empty() && heap_.front().t == t0) {
     const HeapItem top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    heap_.pop_back();
+    heap_remove_at(0);
     const Slot& s = slots_[top.slot];
-    if (s.gen != top.gen || !s.armed) continue;
-    tied.push_back(top);
+    if (s.gen != top.gen || !s.armed) continue;  // defensive, see fire_next
+    tied_scratch_.push_back(top);  // capacity from grow_slab()
   }
-  PASCHED_ASSERT(!tied.empty());
+  PASCHED_ASSERT(!tied_scratch_.empty());
   std::size_t choice = 0;
-  if (tied.size() > 1) {
-    std::vector<TieCandidate> cands;
-    cands.reserve(tied.size());
-    for (const HeapItem& h : tied) {
+  if (tied_scratch_.size() > 1) {
+    cands_scratch_.clear();
+    for (const HeapItem& h : tied_scratch_) {
       slots_[h.slot].held = true;
-      cands.push_back(TieCandidate{EventId{h.slot, h.gen}, h.seq});
+      cands_scratch_.push_back(TieCandidate{EventId{h.slot, h.gen}, h.seq});
     }
-    choice = tie_break_->pick(cands);
-    PASCHED_CHECK_ALWAYS_MSG(choice < tied.size(),
+    choice = tie_break_->pick(cands_scratch_);
+    PASCHED_CHECK_ALWAYS_MSG(choice < tied_scratch_.size(),
                              "TieBreak::pick returned an out-of-range index");
-    for (const HeapItem& h : tied) slots_[h.slot].held = false;
+    for (const HeapItem& h : tied_scratch_) slots_[h.slot].held = false;
     // Re-queue the losers *before* firing so the handler observes a
-    // consistent pending set (it may cancel or reschedule them).
-    for (std::size_t i = 0; i < tied.size(); ++i) {
+    // consistent pending set (it may cancel or reschedule them). A loser
+    // that died while held (validation off) must not re-enter the heap.
+    for (std::size_t i = 0; i < tied_scratch_.size(); ++i) {
       if (i == choice) continue;
-      heap_.push_back(tied[i]);
-      std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+      const Slot& ls = slots_[tied_scratch_[i].slot];
+      if (ls.gen != tied_scratch_[i].gen || !ls.armed) continue;
+      heap_push(tied_scratch_[i]);
     }
   }
-  const HeapItem& chosen = tied[choice];
+  const HeapItem& chosen = tied_scratch_[choice];
   {
     // Defensive (reachable only with validation off and a strategy that
     // cancelled a held candidate): treat a dead chosen entry as stale.
@@ -172,12 +254,14 @@ bool Engine::fire_tied() {
 }
 
 void Engine::run() {
+  PASCHED_ALLOC_HOT_SCOPE("Engine::run");
   stopped_ = false;
   while (!stopped_ && fire_next()) {
   }
 }
 
 bool Engine::run_until(Time deadline) {
+  PASCHED_ALLOC_HOT_SCOPE("Engine::run_until");
   PASCHED_EXPECTS(deadline >= now_);
   stopped_ = false;
   while (!stopped_) {
@@ -186,9 +270,8 @@ bool Engine::run_until(Time deadline) {
     while (!heap_.empty()) {
       const HeapItem& top = heap_.front();
       const Slot& s = slots_[top.slot];
-      if (s.gen != top.gen || !s.armed) {
-        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-        heap_.pop_back();
+      if (s.gen != top.gen || !s.armed) {  // defensive, see fire_next
+        heap_remove_at(0);
         continue;
       }
       if (top.t > deadline) {
@@ -209,13 +292,13 @@ bool Engine::run_until(Time deadline) {
 }
 
 PASCHED_HOT void Engine::run_before(Time end) {
+  PASCHED_ALLOC_HOT_SCOPE("Engine::run_before");
   PASCHED_EXPECTS(end >= now_);
   while (!heap_.empty()) {
     const HeapItem& top = heap_.front();
     const Slot& s = slots_[top.slot];
-    if (s.gen != top.gen || !s.armed) {
-      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-      heap_.pop_back();
+    if (s.gen != top.gen || !s.armed) {  // defensive, see fire_next
+      heap_remove_at(0);
       continue;
     }
     if (top.t >= end) break;
@@ -230,13 +313,13 @@ std::uint64_t Engine::fires_at_or_after(Time t) const noexcept {
 }
 
 void Engine::drain() {
+  heap_.clear();
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].armed) {
       --live_;
       release_slot(i);
     }
   }
-  heap_.clear();
   PASCHED_ASSERT(live_ == 0);
 }
 
@@ -245,8 +328,7 @@ PASCHED_HOT Time Engine::next_event_time() {
     const HeapItem& top = heap_.front();
     const Slot& s = slots_[top.slot];
     if (s.gen == top.gen && s.armed) return top.t;
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    heap_.pop_back();
+    heap_remove_at(0);  // defensive, see fire_next
   }
   return Time::max();
 }
@@ -288,17 +370,32 @@ void Engine::check_consistent() const {
   PASCHED_CHECK_ALWAYS_MSG(armed == live_,
                            "live_ disagrees with armed slot count");
 
-  // Each armed slot is referenced by exactly one current-generation heap
-  // entry; every other heap entry is stale (superseded generation).
+  // The indexed heap holds exactly one current-generation entry per armed
+  // slot, position backlinks agree, the (t, seq) heap property holds, and —
+  // since cancel() removes eagerly — no stale entries exist at all:
+  // queue_footprint() == events_pending() between events.
+  PASCHED_CHECK_ALWAYS_MSG(heap_.size() == live_,
+                           "queue footprint disagrees with pending events "
+                           "(stale entries survived indexed removal)");
   std::vector<std::uint32_t> refs(slots_.size(), 0);
-  for (const HeapItem& h : heap_) {
+  for (std::size_t p = 0; p < heap_.size(); ++p) {
+    const HeapItem& h = heap_[p];
     PASCHED_CHECK_ALWAYS_MSG(h.slot < slots_.size(),
                              "heap entry references an out-of-range slot");
-    if (slots_[h.slot].gen == h.gen) {
-      PASCHED_CHECK_ALWAYS_MSG(slots_[h.slot].armed,
-                               "current-generation heap entry on a disarmed slot");
-      ++refs[h.slot];
-    }
+    const Slot& s = slots_[h.slot];
+    PASCHED_CHECK_ALWAYS_MSG(s.gen == h.gen && s.armed,
+                             "stale heap entry at position " +
+                                 std::to_string(p));
+    PASCHED_CHECK_ALWAYS_MSG(
+        s.heap_pos == p,
+        "slot " + std::to_string(h.slot) + " heap_pos backlink says " +
+            std::to_string(s.heap_pos) + ", entry is at " +
+            std::to_string(p));
+    if (p > 0)
+      PASCHED_CHECK_ALWAYS_MSG(
+          !heap_before(heap_[p], heap_[(p - 1) / 2]),
+          "heap property violated at position " + std::to_string(p));
+    ++refs[h.slot];
   }
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     const std::uint32_t expected = slots_[i].armed ? 1 : 0;
@@ -306,6 +403,10 @@ void Engine::check_consistent() const {
         refs[i] == expected,
         "slot " + std::to_string(i) + " has " + std::to_string(refs[i]) +
             " live heap entries, expected " + std::to_string(expected));
+    if (!slots_[i].armed)
+      PASCHED_CHECK_ALWAYS_MSG(slots_[i].heap_pos == kNoHeapPos,
+                               "disarmed slot " + std::to_string(i) +
+                                   " still carries a heap position");
   }
 
   // Free-list entries are disarmed, in range, and unique.

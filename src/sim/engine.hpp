@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "sim/callback.hpp"
@@ -30,10 +31,15 @@ struct EventId {
 /// One of the events tied at the current minimum timestamp. `seq` is the
 /// engine-assigned scheduling order, so candidates arrive FIFO-sorted and
 /// picking index 0 always reproduces the default behavior.
-struct TieCandidate {
+struct PASCHED_ARENA TieCandidate {
   EventId id;
   std::uint64_t seq = 0;
 };
+static_assert(std::is_trivially_destructible_v<TieCandidate> &&
+                  std::is_trivially_copyable_v<TieCandidate>,
+              "TieCandidate lives in a reused scratch buffer: the "
+              "PASCHED_ARENA contract (PSL604) requires trivial "
+              "destruction and memcpy relocation");
 
 /// Strategy for ordering same-timestamp events. pick() receives the tied
 /// candidates in scheduling (seq) order and returns the index to fire next;
@@ -95,9 +101,11 @@ class Engine {
   /// drain(), events_pending() == 0 and check_consistent() holds.
   void drain();
 
-  /// Heap entries currently allocated (live + stale). cancel() compacts the
-  /// heap when stale entries dominate, so this stays within a small factor
-  /// of events_pending() — the regression test for the cancel() leak.
+  /// Heap entries currently allocated. The heap is position-indexed (each
+  /// armed slot tracks where its entry sits), so cancel() removes its entry
+  /// in O(log n) and no stale entries exist: this equals events_pending()
+  /// whenever no TieBreak::pick() is in flight — the regression test for
+  /// the cancel() leak asserts exactly that.
   [[nodiscard]] std::size_t queue_footprint() const noexcept {
     return heap_.size();
   }
@@ -166,31 +174,54 @@ class Engine {
   void check_consistent() const;
 
  private:
+  /// Sentinel heap position for a slot with no heap entry (free, held by a
+  /// TieBreak::pick(), or mid-fire).
+  static constexpr std::uint32_t kNoHeapPos = UINT32_MAX;
+
   struct Slot {
     Callback fn;
     std::uint32_t gen = 0;
+    // Index of this slot's entry in heap_ while armed and not held — the
+    // backlink that makes cancel() an O(log n) targeted removal instead of
+    // a tombstone that compaction must sweep later.
+    std::uint32_t heap_pos = kNoHeapPos;
     bool armed = false;
     // True while the slot sits in a TieBreak::pick() candidate list: off
     // the heap but not yet fired or re-queued. Cancellation must not touch
     // it (see cancel()). Always present so layout is validation-agnostic.
     bool held = false;
   };
-  struct HeapItem {
+  struct PASCHED_ARENA HeapItem {
     Time t;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
   };
-  struct HeapLater {
-    bool operator()(const HeapItem& a, const HeapItem& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  static_assert(std::is_trivially_destructible_v<HeapItem> &&
+                    std::is_trivially_copyable_v<HeapItem>,
+                "HeapItem lives in the engine's slab-backed heap: the "
+                "PASCHED_ARENA contract (PSL604) requires trivial "
+                "destruction and memcpy relocation");
+  /// True when `a` must fire before `b`: the (t, seq) min-heap order.
+  static bool heap_before(const HeapItem& a, const HeapItem& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx) noexcept;
-  void compact_heap();
+  // All slot-table/heap/free-list/scratch growth funnels through here so
+  // the hot path's push_backs never reallocate: after grow_slab(),
+  // free_ and heap_ have capacity for every slot. Cold by contract
+  // (PASCHED_ALLOC_COLD_REGION).
+  void grow_slab();
+  void grow_fire_log();
+  // Indexed-heap primitives: every move re-anchors Slot::heap_pos.
+  void heap_place(std::size_t pos) noexcept;
+  void sift_up(std::size_t pos) noexcept;
+  void sift_down(std::size_t pos) noexcept;
+  void heap_push(const HeapItem& item) noexcept;
+  void heap_remove_at(std::size_t pos) noexcept;
   bool fire_next();
   bool fire_tied();
   void fire_item(const HeapItem& item);
@@ -207,6 +238,11 @@ class Engine {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
   std::vector<HeapItem> heap_;
+  // Reused scratch for fire_tied(): cleared per call, capacity persists so
+  // steady-state tie resolution is allocation-free (grown via grow_slab /
+  // reserve_cold only).
+  std::vector<HeapItem> tied_scratch_;
+  std::vector<TieCandidate> cands_scratch_;
   Time now_ = Time::zero();
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

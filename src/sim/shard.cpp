@@ -14,6 +14,7 @@
 #include "check/check.hpp"
 #include "race/domain.hpp"
 #include "sim/choice.hpp"
+#include "util/allocgate.hpp"
 #include "util/assert.hpp"
 
 namespace pasched::sim {
@@ -122,6 +123,9 @@ ShardedEngine::PairRing& ShardedEngine::ring_for(int src, int dst) {
                    .v;
   PairRing* r = slot.load(std::memory_order_acquire);
   if (r != nullptr) return *r;
+  // First contact on this producer/consumer pair: a one-time allocation,
+  // amortized to zero over the run (rings are never torn down mid-run).
+  PASCHED_ALLOC_COLD_REGION();
   auto* fresh = new PairRing(ring_capacity_, ring_overflow_site());
   PairRing* expected = nullptr;
   if (slot.compare_exchange_strong(expected, fresh,
@@ -179,6 +183,7 @@ void ShardedEngine::request_wrapup(Engine::Callback fn) {
 }
 
 void ShardedEngine::drain_rings(int shard, const RoundPlan* plan, int j) {
+  PASCHED_ALLOC_COLD_SCOPE("ShardedEngine::drain_rings");
   const int S = partitions();
   std::vector<CrossNodeEvent>& q =
       arenas_[static_cast<std::size_t>(shard)].v.admit;
@@ -225,6 +230,7 @@ void ShardedEngine::drain_rings(int shard, const RoundPlan* plan, int j) {
 
 PASCHED_HOT void ShardedEngine::admit_sorted(int shard,
                                              std::vector<CrossNodeEvent>& q) {
+  PASCHED_ALLOC_HOT_SCOPE("ShardedEngine::admit_sorted");
   // Canonical admission order: posts from different sources are merged by
   // (t, src, seq), so the destination engine's FIFO tie-break sees the same
   // sequence regardless of which worker drained which source first.
@@ -323,6 +329,7 @@ void ShardedEngine::run_chain(int worker, int nworkers, int S) {
 }
 
 void ShardedEngine::plan_round(Time deadline) noexcept {
+  PASCHED_ALLOC_COLD_SCOPE("ShardedEngine::plan_round");
   phase_ ^= 1;
   if (phase_ == 0) return;  // end-of-round barrier: nothing to plan
   // All workers are parked, so wrapups may safely touch any node — but

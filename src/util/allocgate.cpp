@@ -1,0 +1,72 @@
+#include "util/allocgate.hpp"
+
+#include <cstring>
+#include <mutex>
+
+namespace pasched::util {
+
+namespace {
+
+struct SiteEntry {
+  const char* name = "";
+  AllocSiteKind kind = AllocSiteKind::Core;
+};
+
+// Fixed storage: alloc_site_name() must stay valid (and allocation-free)
+// while the operator new/delete hook is live, so the registry never
+// reallocates. Registration is cold (function-local statics at the sites).
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct Registry {
+  SiteEntry entries[kMaxAllocSites];
+  int count = 1;  // slot 0 is the implicit "(unscoped)" bucket
+  Registry() { entries[0] = SiteEntry{"(unscoped)", AllocSiteKind::Dispatch}; }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+int register_alloc_site(const char* name, AllocSiteKind kind) {
+  const std::scoped_lock lk(registry_mu());
+  Registry& r = registry();
+  for (int i = 0; i < r.count; ++i)
+    if (std::strcmp(r.entries[i].name, name) == 0) return i;
+  if (r.count >= kMaxAllocSites) return kMaxAllocSites - 1;  // overflow bucket
+  r.entries[r.count] = SiteEntry{name, kind};
+  return r.count++;
+}
+
+const char* alloc_site_name(int site) {
+  const std::scoped_lock lk(registry_mu());
+  const Registry& r = registry();
+  if (site < 0 || site >= r.count) return "<unregistered>";
+  return r.entries[site].name;
+}
+
+AllocSiteKind alloc_site_kind(int site) {
+  const std::scoped_lock lk(registry_mu());
+  const Registry& r = registry();
+  if (site < 0 || site >= r.count) return AllocSiteKind::Dispatch;
+  return r.entries[site].kind;
+}
+
+int alloc_site_count() {
+  const std::scoped_lock lk(registry_mu());
+  return registry().count;
+}
+
+#if PASCHED_VALIDATE_ENABLED
+namespace detail {
+thread_local int tl_alloc_site = 0;
+thread_local AllocPhase tl_alloc_phase = AllocPhase::Cold;
+}  // namespace detail
+#endif
+
+}  // namespace pasched::util

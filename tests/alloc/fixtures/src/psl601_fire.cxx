@@ -1,0 +1,18 @@
+// Planted PSL601: heap allocation on the per-event path, three ways — a
+// naked `new`, a C allocator call, and an owning container constructed
+// fresh per call.
+#include <cstdlib>
+#include <vector>
+
+struct Ev {
+  long t = 0;
+};
+
+PASCHED_HOT void fire_one(int n) {
+  Ev* spill = new Ev{};
+  void* raw = std::malloc(64);
+  std::vector<Ev> batch(static_cast<std::size_t>(n));
+  spill->t = batch.empty() ? 0 : n;
+  std::free(raw);
+  delete spill;
+}

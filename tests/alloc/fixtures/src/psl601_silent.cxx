@@ -1,0 +1,19 @@
+// Silent twin of psl601_fire: the hot function draws from a pre-sized
+// slab and placement-constructs into owned storage — no heap traffic on
+// the event path (and therefore a PSL605 allocation-free claim).
+struct Ev {
+  long t = 0;
+};
+
+struct Slab {
+  unsigned char cells[64][sizeof(Ev)];
+  int free_top = 63;
+};
+
+PASCHED_HOT Ev* fire_one(Slab& slab) {
+  if (slab.free_top < 0) return nullptr;
+  void* cell = slab.cells[slab.free_top--];
+  Ev* e = new (cell) Ev{};
+  e->t = slab.free_top;
+  return e;
+}

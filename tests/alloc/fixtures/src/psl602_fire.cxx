@@ -1,0 +1,10 @@
+// Planted PSL602: a member container grows once per hot call with no
+// reserve/clear discipline anywhere in the file — steady-state events
+// eventually hit a doubling reallocation mid-window.
+#include <vector>
+
+struct Batcher {
+  std::vector<int> out_;
+
+  PASCHED_HOT void push(int v) { out_.push_back(v); }
+};

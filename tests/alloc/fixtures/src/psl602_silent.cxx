@@ -1,0 +1,12 @@
+// Silent twin of psl602_fire: the same growth call, but the file carries
+// the reuse discipline (a cold reserve helper), so the push_back can only
+// append into pre-sized capacity.
+#include <vector>
+
+struct Batcher {
+  std::vector<int> out_;
+
+  void grow(std::size_t n) { out_.reserve(n); }
+
+  PASCHED_HOT void push(int v) { out_.push_back(v); }
+};

@@ -1,0 +1,12 @@
+// Planted PSL603: an event-resident type (HeapItem is on the analyzer's
+// layout list) holding an owning container, a smart pointer, and a raw
+// pointer — three pointer chases out of the slab's cache footprint.
+#include <memory>
+#include <string>
+
+struct HeapItem {
+  long t = 0;
+  std::string tag;
+  std::unique_ptr<int> box;
+  int* owner = nullptr;
+};

@@ -1,0 +1,8 @@
+// Silent twin of psl603_fire: the event-resident type is four flat
+// scalars — the whole entry fits the slab's cache line, nothing to chase.
+struct HeapItem {
+  long t = 0;
+  unsigned long long seq = 0;
+  unsigned slot = 0;
+  unsigned gen = 0;
+};

@@ -1,0 +1,13 @@
+// Planted PSL604: an arena-annotated type violating every clause of the
+// contract — a destructor (slabs never run them), a virtual member (vptr
+// breaks memcpy relocation), an owning member (teardown leaks it), and a
+// naked allocation in a member function.
+#include <string>
+
+struct PASCHED_ARENA Payload {
+  std::string tag;
+  virtual void describe();
+  ~Payload();
+  void init() { stash_ = new int[4]; }
+  int* stash_ = nullptr;
+};

@@ -1,0 +1,8 @@
+// Silent twin of psl604_fire: a PASCHED_ARENA type that honors the
+// contract — flat trivially-destructible scalars, memcpy-relocatable.
+struct PASCHED_ARENA Payload {
+  long t = 0;
+  unsigned kind = 0;
+  unsigned a = 0;
+  unsigned b = 0;
+};

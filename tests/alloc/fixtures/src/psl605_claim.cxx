@@ -1,0 +1,12 @@
+// PSL605 semantics: a clean hot function earns the allocation-free claim;
+// a waived (srclint-ok) allocation silences the finding but forfeits the
+// claim — a waiver is not a certificate.
+PASCHED_HOT long next_due(const long* heap, int n) {
+  return n > 0 ? heap[0] : -1;
+}
+
+PASCHED_HOT void spill_waived(int n) {
+  int* tmp = new int[8];  // srclint-ok(PSL601): fixture - waiver forfeits the claim
+  tmp[0] = n;
+  delete[] tmp;
+}

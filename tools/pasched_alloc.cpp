@@ -1,0 +1,299 @@
+// pasched-alloc: allocation & memory-layout analyzer + runtime allocation
+// ledger for the event hot path (PSL601-606).
+//
+// Where pasched-contend audits *serialization* (who waits on whom), alloc
+// audits *allocation*: the heap traffic and cache layout that decide
+// whether the per-event core stays at nanoseconds per event once the
+// partitioned engine actually scales (the paper's overhead-sensitivity
+// argument, §3.1.1/§5):
+//
+//   PSL601  heap allocation in a hot/lifecycle engine function       (ERROR)
+//   PSL602  undisciplined container growth on the hot path           (ERROR)
+//   PSL603  cache-layout hazard in an event/shard-resident type      (WARN)
+//   PSL604  PASCHED_ARENA contract violation                         (ERROR)
+//   PSL605  allocation-free region statically certified              (INFO)
+//   PSL606  runtime-refuted allocation-free claim                    (ERROR)
+//
+//   ./pasched-alloc [--root=DIR] [--compile-db=FILE] [--only=PSL60x[,..]]
+//       [--report=FILE] [--json=FILE] [--list-rules] [files...]
+//   ./pasched-alloc --ledger [--nodes=N] [--workers=N] [--calls=N]
+//       [--seed=N] [--json=FILE] [--max-hot-window-allocs=N]
+//   ./pasched-alloc --plant [--fixtures=DIR]
+//
+// The default mode statically scans the tree under --root (reusing the
+// srclint frontend and compile_commands.json discovery) and emits a PSL605
+// claim for every PASCHED_HOT function that scans clean. --ledger
+// additionally runs the fig5 aggregate-trace scenario on the partitioned
+// core with the global operator new/delete hook counting, splits every
+// allocation into (site, hot|cold) buckets, and cross-checks each PSL605
+// claim against the observed Core rows (PSL606 on refutation) — the same
+// certify-then-verify contract as pasched-contend's PSL505/506. --plant
+// scans the planted-violation corpus and refutes a fabricated claim
+// against a deliberately allocating hot scope, so one invocation
+// demonstrates all six rules; CI asserts it exits 1.
+//
+// Findings are silenced per line with `// srclint-ok(PSLnnn): reason`
+// (which also forfeits the enclosing function's PSL605 claim).
+// Exit status: 0 = no ERROR findings, 1 = ERROR findings, 2 = internal
+// model violation, 64 = bad usage.
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc/ledger.hpp"
+#include "alloc/runner.hpp"
+#include "analysis/diagnostic.hpp"
+#include "apps/aggregate_trace.hpp"
+#include "check/check.hpp"
+#include "core/presets.hpp"
+#include "core/simulation.hpp"
+#include "util/allocgate.hpp"
+#include "util/flags.hpp"
+
+using namespace pasched;
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+struct LedgerParams {
+  int nodes = 8;    // fig5's cluster size
+  int workers = 8;  // parallel8: one worker per node shard
+  int calls = 120;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the fig5 prototype scenario on the partitioned core with the
+/// allocation hook counting; returns the aggregated ledger report.
+alloc::AllocLedgerReport run_fig5_ledger(const LedgerParams& p,
+                                         alloc::Ledger& ledger) {
+  core::SimulationConfig cfg;
+  cfg.cluster = cluster::presets::frost(p.nodes);
+  cfg.cluster.seed = p.seed;
+  cfg.cluster.node.tunables = core::prototype_kernel();
+  cfg.job.ntasks = p.nodes * 16;
+  cfg.job.tasks_per_node = 16;
+  cfg.job.seed = p.seed;
+  cfg.use_coscheduler = true;
+  cfg.cosched = core::paper_cosched();
+  cfg.parallel = p.workers;
+
+  apps::AggregateTraceConfig at;
+  at.loops = 1;
+  at.calls_per_loop = p.calls;
+  at.warmup = sim::Duration::sec(6);
+
+  core::Simulation sim(cfg, apps::aggregate_trace(at));
+  ledger.reset();
+  ledger.install();
+  sim.run();
+  ledger.remove();
+  return ledger.report();
+}
+
+#if PASCHED_VALIDATE_ENABLED
+/// The --plant PSL606 leg: a deliberately allocating hot scope under a
+/// Core site, refuting a fabricated allocation-free claim on that site.
+alloc::AllocLedgerReport run_planted_ledger(alloc::Ledger& ledger) {
+  ledger.reset();
+  ledger.install();
+  {
+    PASCHED_ALLOC_HOT_SCOPE("PlantedHotPath");
+    std::vector<int> spill;
+    for (int i = 0; i < 64; ++i) spill.push_back(i);
+    static volatile const void* sink;  // keep the allocation observable
+    sink = spill.data();
+    static_cast<void>(sink);
+  }
+  ledger.remove();
+  return ledger.report();
+}
+#endif
+
+void append_sorted(alloc::AllocReport& rep,
+                   std::vector<analysis::Diagnostic> extra) {
+  rep.findings.insert(rep.findings.end(),
+                      std::make_move_iterator(extra.begin()),
+                      std::make_move_iterator(extra.end()));
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const analysis::Diagnostic& a,
+                      const analysis::Diagnostic& b) {
+                     return a.subject != b.subject ? a.subject < b.subject
+                                                   : a.rule < b.rule;
+                   });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const std::vector<std::string> typos = flags.unknown(
+      {"root", "compile-db", "only", "report", "json", "list-rules", "plant",
+       "fixtures", "ledger", "nodes", "workers", "calls", "seed",
+       "max-hot-window-allocs"});
+  if (!typos.empty()) {
+    std::cerr << "pasched-alloc: unknown flag(s):";
+    for (const std::string& t : typos) std::cerr << " --" << t;
+    std::cerr << "\nusage: pasched-alloc [--root=DIR] [--compile-db=FILE]"
+                 " [--only=PSL60x[,...]] [--report=FILE] [--json=FILE]"
+                 " [--list-rules] [files...]\n"
+                 "       pasched-alloc --ledger [--nodes=N] [--workers=N]"
+                 " [--calls=N] [--seed=N] [--json=FILE]"
+                 " [--max-hot-window-allocs=N]\n"
+                 "       pasched-alloc --plant [--fixtures=DIR]\n";
+    return 64;
+  }
+  if (flags.get_bool("list-rules", false)) {
+    for (const analysis::RuleInfo& r : analysis::all_rules()) {
+      const std::string id(r.id);
+      if (id.size() == 6 && id.compare(0, 4, "PSL6") == 0)
+        std::cout << id << "  " << analysis::to_string(r.severity)
+                  << "\n    invariant: " << r.invariant
+                  << "\n    paper:     " << r.paper_ref << "\n";
+    }
+    return 0;
+  }
+
+  alloc::AllocOptions opts;
+  opts.root = flags.get("root", ".");
+  const bool plant = flags.get_bool("plant", false);
+  const bool ledger_mode = flags.get_bool("ledger", false);
+  if (plant) {
+    opts.root = flags.get(
+        "fixtures",
+        (std::filesystem::path(opts.root) / "tests/alloc/fixtures").string());
+    if (!std::filesystem::is_directory(opts.root)) {
+      std::cerr << "pasched-alloc: fixture corpus not found at " << opts.root
+                << "\n";
+      return 64;
+    }
+  } else {
+    opts.compile_db = flags.get("compile-db", "");
+    if (opts.compile_db.empty()) {
+      const std::filesystem::path guess =
+          std::filesystem::path(opts.root) / "build/compile_commands.json";
+      if (std::filesystem::exists(guess)) opts.compile_db = guess.string();
+    }
+  }
+  opts.cfg.only = split_commas(flags.get("only", ""));
+  for (const std::string& id : opts.cfg.only) {
+    if (analysis::find_rule(id) == nullptr) {
+      std::cerr << "pasched-alloc: unknown rule " << id << "\n";
+      return 64;
+    }
+  }
+
+  LedgerParams lp;
+  lp.nodes = static_cast<int>(flags.get_int("nodes", lp.nodes));
+  lp.workers = static_cast<int>(flags.get_int("workers", lp.workers));
+  lp.calls = static_cast<int>(flags.get_int("calls", lp.calls));
+  lp.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (lp.nodes < 2 || lp.workers < 1 || lp.calls < 1) {
+    std::cerr << "pasched-alloc: --nodes must be >= 2 and --workers/--calls "
+                 "positive\n";
+    return 64;
+  }
+
+  alloc::AllocReport rep;
+  alloc::Ledger ledger;
+  alloc::AllocLedgerReport lrep;
+  bool ledger_ran = false;
+  try {
+    if (!flags.positional().empty())
+      rep = alloc::run_files(opts, flags.positional());
+    else
+      rep = alloc::run_tree(opts);
+
+    if (plant) {
+      // The PSL606 leg: a hot scope that allocates on purpose, checked
+      // against a fabricated allocation-free claim on the same Core site.
+#if PASCHED_VALIDATE_ENABLED
+      lrep = run_planted_ledger(ledger);
+      ledger_ran = true;
+      std::vector<alloc::AllocClaim> planted = rep.claims;
+      planted.push_back(alloc::AllocClaim{
+          "PlantedHotPath", "tests/alloc/fixtures/planted-claim", 1});
+      append_sorted(rep, ledger.check_claims(planted));
+#else
+      std::cout << "pasched-alloc: PSL606 leg skipped (the operator "
+                   "new/delete hook is compiled out under "
+                   "-DPASCHED_VALIDATE=OFF)\n";
+#endif
+    } else if (ledger_mode) {
+#if PASCHED_VALIDATE_ENABLED
+      lrep = run_fig5_ledger(lp, ledger);
+      ledger_ran = true;
+      append_sorted(rep, ledger.check_claims(rep.claims));
+#endif
+    }
+  } catch (const check::CheckError& e) {
+    std::cerr << "pasched-alloc: model invariant violated: " << e.what()
+              << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "pasched-alloc: " << e.what() << "\n";
+    return 64;
+  }
+
+  std::cout << rep.str();
+  if (ledger_ran) {
+    std::cout << lrep.str();
+    if (lrep.sites.empty())
+      std::cout << "pasched-alloc: ledger recorded nothing (no attributed "
+                   "allocation observed)\n";
+  } else if (ledger_mode) {
+    std::cout << "pasched-alloc: ledger unavailable under "
+                 "-DPASCHED_VALIDATE=OFF (the operator new/delete hook is "
+                 "compiled out)\n";
+  }
+
+  const std::string report_file = flags.get("report", "");
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << rep.str();
+    if (ledger_ran) out << lrep.str();
+    std::cout << "report written to " << report_file << "\n";
+  }
+  const std::string json_file = flags.get("json", "");
+  if (!json_file.empty()) {
+    std::ofstream out(json_file);
+    std::string js = rep.json();
+    if (ledger_ran) {
+      // Splice the ledger object into the report before the closing brace.
+      const std::size_t pos = js.rfind("\n}");
+      js.insert(pos, ",\n  \"ledger\": " + lrep.json(2));
+    }
+    out << js;
+    std::cout << "json written to " << json_file << "\n";
+  }
+
+  // Allocation regression gate (the nightly CI wiring): hot_window_allocs
+  // counts hot-phase heap traffic on Core (engine/kernel bookkeeping)
+  // sites. The event slab and scratch-reuse discipline exist to hold it at
+  // zero — fail loudly if a regression puts malloc back on the event path.
+  const long long max_hot = flags.get_int("max-hot-window-allocs", -1);
+  if (max_hot >= 0 && ledger_ran &&
+      lrep.hot_window_allocs > static_cast<std::uint64_t>(max_hot)) {
+    std::cout << "pasched-alloc: FAIL (hot_window_allocs "
+              << lrep.hot_window_allocs << " > " << max_hot << ")\n";
+    return 1;
+  }
+
+  if (rep.clean()) {
+    std::cout << "pasched-alloc: PASS\n";
+    return 0;
+  }
+  return analysis::any_errors(rep.findings) ? 1 : 0;
+}

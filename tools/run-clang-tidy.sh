@@ -51,10 +51,10 @@ mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
 # rename, a new subsystem like src/mc or src/race landing after the script
 # was written) is a coverage hole that looks exactly like "tidy is clean" —
 # make it a hard failure instead.
-required_dirs=(src/analysis src/apps src/check src/cluster src/contend \
-               src/core src/daemons src/kern src/mc src/mpi src/net \
-               src/race src/scale src/sim src/srclint src/trace src/util \
-               tools tests bench)
+required_dirs=(src/alloc src/analysis src/apps src/check src/cluster \
+               src/contend src/core src/daemons src/kern src/mc src/mpi \
+               src/net src/race src/scale src/sim src/srclint src/trace \
+               src/util tools tests bench)
 for dir in "${required_dirs[@]}"; do
   if ! printf '%s\n' "${sources[@]}" | grep -q "^${repo_root}/${dir}/"; then
     echo "run-clang-tidy.sh: FAIL — no sources found under ${dir}/" >&2
